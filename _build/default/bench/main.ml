@@ -1,0 +1,229 @@
+(* Benchmark & reproduction harness.
+
+   Running `dune exec bench/main.exe` does two things:
+
+   1. Regenerates every table/figure of the paper (Figs. 1-9 plus the
+      §V/§VII in-text results) at the ambient REPRO_SCALE — defaulting to
+      "smoke" here so the whole run stays in the minutes range; set
+      REPRO_SCALE=small or =full for higher-fidelity sweeps (the `repro`
+      binary defaults to "small").
+
+   2. Times, with Bechamel, one kernel per figure — the computational
+      core that regenerates it — plus the substrate kernels they are
+      built from (FFT convolution, distribution sum/max, Monte-Carlo
+      batches, the scheduling heuristics, series-parallel reduction). *)
+
+open Bechamel
+open Toolkit
+module E = Experiments
+
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some _ -> E.Scale.of_env ()
+  | None -> E.Scale.smoke
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: figure reproduction                                          *)
+(* ------------------------------------------------------------------ *)
+
+let reproduce () =
+  let sep title =
+    Printf.printf "\n================ %s ================\n\n%!" title
+  in
+  Printf.printf "Reproduction at scale %S (schedules /%d, Monte-Carlo /%d)\n%!"
+    scale.E.Scale.name scale.E.Scale.schedule_divisor scale.E.Scale.mc_divisor;
+  sep "Fig. 1";
+  print_string (E.Fig1.render (E.Fig1.run ~scale ()));
+  sep "Fig. 2";
+  print_string (E.Fig2.render (E.Fig2.run ~scale ()));
+  sep "Fig. 3";
+  print_string (E.Fig_corr.render (E.Fig_corr.run ~scale E.Fig_corr.fig3));
+  sep "Fig. 4";
+  print_string (E.Fig_corr.render (E.Fig_corr.run ~scale E.Fig_corr.fig4));
+  sep "Fig. 5";
+  print_string (E.Fig_corr.render (E.Fig_corr.run ~scale E.Fig_corr.fig5));
+  sep "Fig. 6 (+ §VII in-text)";
+  let fig6 = E.Fig6.run ~scale () in
+  print_string (E.Fig6.render fig6);
+  print_newline ();
+  print_string (E.Intext.render_rel_prob (E.Intext.rel_prob_vs_std fig6.E.Fig6.results));
+  sep "Fig. 7";
+  print_string (E.Fig7.render (E.Fig7.run ()));
+  sep "Fig. 8";
+  print_string (E.Fig8.render (E.Fig8.run ()));
+  sep "Fig. 9";
+  print_string (E.Fig9.render (E.Fig9.run ()));
+  sep "In-text: evaluation methods vs Monte Carlo";
+  print_string (E.Intext.render_methods (E.Intext.methods_vs_mc ~scale ()));
+  sep "Extensions (§VIII future work)";
+  print_string
+    (E.Ablation.render_correlation (E.Ablation.correlation_under_variable_ul ~scale ()));
+  print_newline ();
+  print_string (E.Ablation.render_shapes (E.Ablation.cluster_under_shapes ~scale ()));
+  print_newline ();
+  print_string (E.Ablation.render_tradeoff (E.Ablation.robust_heft_tradeoff ()));
+  print_newline ();
+  print_string (E.Ablation.render_pareto (E.Ablation.pareto_front_study ~scale ()))
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel kernels                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* shared fixtures, built once *)
+let model = Workloads.Stochastify.make ~ul:1.1 ()
+
+let fixture kind n_target n_procs ul =
+  let case = E.Case.make ~kind ~n_target ~n_procs ~ul () in
+  let inst = E.Case.instantiate case in
+  let rng = Prng.Xoshiro.create 99L in
+  let sched = Sched.Random_sched.generate ~rng ~graph:inst.E.Case.graph ~n_procs in
+  (inst, sched)
+
+let cholesky10 = lazy (fixture E.Case.Cholesky 10 3 1.01)
+let random30 = lazy (fixture E.Case.Random_graph 30 8 1.01)
+let gauss103 = lazy (fixture E.Case.Gauss_elim 103 16 1.1)
+
+let metric_vector (inst, sched) =
+  Metrics.Robustness.to_array
+    (Metrics.Robustness.of_schedule sched inst.E.Case.platform inst.E.Case.model)
+
+let precomputed_rows =
+  lazy
+    (let inst, _ = Lazy.force cholesky10 in
+     let rng = Prng.Xoshiro.create 4L in
+     let scheds =
+       Sched.Random_sched.generate_many ~rng ~graph:inst.E.Case.graph ~n_procs:3 ~count:64
+     in
+     Array.of_list
+       (List.map
+          (fun s ->
+            Metrics.Robustness.to_array
+              (Metrics.Robustness.of_schedule s inst.E.Case.platform inst.E.Case.model))
+          scheds))
+
+let special = lazy (Distribution.Family.special ())
+
+let mc_batch fx count =
+  let inst, sched = fx in
+  Makespan.Montecarlo.realizations ~domains:1 ~rng:(Prng.Xoshiro.create 7L) ~count sched
+    inst.E.Case.platform inst.E.Case.model
+
+(* one Test.make per table/figure *)
+let figure_tests =
+  [
+    Test.make ~name:"fig1:classical-vs-mc-ks"
+      (Staged.stage (fun () ->
+           let inst, sched = Lazy.force cholesky10 in
+           let d = Makespan.Classic.run sched inst.E.Case.platform model in
+           let samples = mc_batch (Lazy.force cholesky10) 500 in
+           ignore
+             (Stats.Distance.ks (Analytic d)
+                (Sampled (Distribution.Empirical.of_samples samples)))));
+    Test.make ~name:"fig2:empirical-density"
+      (Staged.stage (fun () ->
+           let samples = mc_batch (Lazy.force cholesky10) 1000 in
+           let e = Distribution.Empirical.of_samples samples in
+           ignore (Distribution.Empirical.to_dist e)));
+    Test.make ~name:"fig3:metric-vector-cholesky10"
+      (Staged.stage (fun () -> ignore (metric_vector (Lazy.force cholesky10))));
+    Test.make ~name:"fig4:metric-vector-random30"
+      (Staged.stage (fun () -> ignore (metric_vector (Lazy.force random30))));
+    Test.make ~name:"fig5:metric-vector-gauss103"
+      (Staged.stage (fun () -> ignore (metric_vector (Lazy.force gauss103))));
+    Test.make ~name:"fig6:pearson-matrix-8x8"
+      (Staged.stage (fun () -> ignore (E.Correlate.matrix (Lazy.force precomputed_rows))));
+    Test.make ~name:"fig7:special-distribution"
+      (Staged.stage (fun () ->
+           let d = Distribution.Family.special () in
+           ignore (Distribution.Dist.mean d, Distribution.Dist.std d)));
+    Test.make ~name:"fig8:self-sum-plus-ks"
+      (Staged.stage (fun () ->
+           let s = Lazy.force special in
+           let sum = Distribution.Dist.add s s in
+           let n =
+             Distribution.Family.normal ~mean:(Distribution.Dist.mean sum)
+               ~std:(Distribution.Dist.std sum) ()
+           in
+           ignore (Stats.Distance.ks (Analytic sum) (Analytic n))));
+    Test.make ~name:"fig9:four-join-schedules"
+      (Staged.stage (fun () -> ignore (E.Fig9.run ~n_tasks:8 ())));
+    Test.make ~name:"intext:relprob-pearson"
+      (Staged.stage (fun () ->
+           let rows = Lazy.force precomputed_rows in
+           let xs = Array.map (fun r -> r.(0) /. Float.max 1e-12 r.(7)) rows in
+           let ys = Array.map (fun r -> r.(1)) rows in
+           ignore (Stats.Correlation.pearson xs ys)));
+  ]
+
+(* substrate kernels *)
+let substrate_tests =
+  let u = Distribution.Family.uncertain ~ul:1.1 20. in
+  [
+    Test.make ~name:"substrate:fft-conv-256"
+      (let a = Array.init 256 (fun i -> sin (float_of_int i)) in
+       Staged.stage (fun () -> ignore (Numerics.Convolution.fft a a)));
+    Test.make ~name:"substrate:dist-add"
+      (Staged.stage (fun () -> ignore (Distribution.Dist.add u u)));
+    Test.make ~name:"substrate:dist-max"
+      (Staged.stage (fun () -> ignore (Distribution.Dist.max_indep u u)));
+    Test.make ~name:"substrate:mc-100-realizations"
+      (Staged.stage (fun () -> ignore (mc_batch (Lazy.force cholesky10) 100)));
+    Test.make ~name:"substrate:heft"
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           ignore (Sched.Heft.schedule inst.E.Case.graph inst.E.Case.platform)));
+    Test.make ~name:"substrate:bil"
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           ignore (Sched.Bil.schedule inst.E.Case.graph inst.E.Case.platform)));
+    Test.make ~name:"substrate:bmct"
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           ignore (Sched.Bmct.schedule inst.E.Case.graph inst.E.Case.platform)));
+    Test.make ~name:"substrate:random-schedule"
+      (let rng = Prng.Xoshiro.create 1L in
+       Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           ignore (Sched.Random_sched.generate ~rng ~graph:inst.E.Case.graph ~n_procs:8)));
+    Test.make ~name:"substrate:dodin-reduce"
+      (Staged.stage (fun () ->
+           let inst, sched = Lazy.force cholesky10 in
+           ignore (Makespan.Dodin.run sched inst.E.Case.platform model)));
+    Test.make ~name:"substrate:slack"
+      (Staged.stage (fun () ->
+           let inst, sched = Lazy.force gauss103 in
+           ignore (Sched.Slack.compute sched inst.E.Case.platform inst.E.Case.model)));
+  ]
+
+let run_benchmarks () =
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let instances = [ Instance.monotonic_clock ] in
+  Printf.printf "\n================ Bechamel kernels ================\n\n";
+  Printf.printf "%-36s  %14s\n" "kernel" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
+  List.iter
+    (fun test ->
+      List.iter
+        (fun elt ->
+          let raw = Benchmark.run cfg instances elt in
+          let est = Analyze.one ols Instance.monotonic_clock raw in
+          let ns =
+            match Analyze.OLS.estimates est with
+            | Some [ v ] -> v
+            | _ -> Float.nan
+          in
+          let pretty =
+            if Float.is_nan ns then "n/a"
+            else if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+            else if ns > 1e3 then Printf.sprintf "%8.3f µs" (ns /. 1e3)
+            else Printf.sprintf "%8.0f ns" ns
+          in
+          Printf.printf "%-36s  %14s\n%!" (Test.Elt.name elt) pretty)
+        (Test.elements test))
+    (figure_tests @ substrate_tests)
+
+let () =
+  reproduce ();
+  run_benchmarks ()

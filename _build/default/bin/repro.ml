@@ -1,0 +1,296 @@
+(* Command-line driver regenerating every table/figure of the paper.
+   `repro all` prints the full reproduction at the ambient REPRO_SCALE;
+   `--out DIR` additionally writes CSV data (and gnuplot scripts for the
+   series/density figures) for external plotting. *)
+
+open Cmdliner
+module E = Experiments
+
+let scale_arg =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "smoke" -> Ok E.Scale.smoke
+    | "small" -> Ok E.Scale.small
+    | "full" | "paper" -> Ok E.Scale.full
+    | other -> Error (`Msg (Printf.sprintf "unknown scale %S (smoke|small|full)" other))
+  in
+  let print fmt (s : E.Scale.t) = Format.pp_print_string fmt s.E.Scale.name in
+  Arg.(
+    value
+    & opt (conv (parse, print)) (E.Scale.of_env ())
+    & info [ "scale" ] ~docv:"SCALE"
+        ~doc:"Experiment scale: smoke, small (default; also via REPRO_SCALE) or full.")
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "domains" ] ~docv:"N" ~doc:"Worker domains (default: cores - 1).")
+
+let seed_arg =
+  Arg.(
+    value
+    & opt int64 0L
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Offset added to built-in experiment seeds.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "out" ] ~docv:"DIR" ~doc:"Also write CSV data (and gnuplot scripts) to $(docv).")
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log sweep progress to stderr.")
+
+let setup_logging verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level E.Elog.src (Some Logs.Info)
+  end
+
+type ctx = {
+  scale : E.Scale.t;
+  domains : int option;
+  seed : int64;
+  out : string option;
+}
+
+let save ctx name content =
+  match ctx.out with
+  | None -> ()
+  | Some dir ->
+    let path = E.Export.write_file ~dir ~name content in
+    Printf.printf "[wrote %s]\n" path
+
+let run_fig1 ctx =
+  let t = E.Fig1.run ?domains:ctx.domains ~scale:ctx.scale ~seed:(Int64.add 11L ctx.seed) () in
+  print_string (E.Fig1.render t);
+  save ctx "fig1.csv" (E.Export.fig1_csv t);
+  save ctx "fig1.gp" (E.Export.gnuplot_fig1 ~data:"fig1.csv")
+
+let run_fig2 ctx =
+  let t = E.Fig2.run ?domains:ctx.domains ~scale:ctx.scale ~seed:(Int64.add 21L ctx.seed) () in
+  print_string (E.Fig2.render t);
+  save ctx "fig2.csv" (E.Export.fig2_csv t);
+  save ctx "fig2.gp"
+    (E.Export.gnuplot_density ~data:"fig2.csv" ~title:"calculated vs experimental density")
+
+let run_fig_corr spec name ctx =
+  let t = E.Fig_corr.run ?domains:ctx.domains ~scale:ctx.scale spec in
+  print_string (E.Fig_corr.render t);
+  save ctx (name ^ "-matrix.csv") (E.Export.fig_corr_csv t);
+  save ctx (name ^ "-schedules.csv") (E.Export.schedules_csv t.E.Fig_corr.result)
+
+let run_fig6 ctx =
+  let t = E.Fig6.run ?domains:ctx.domains ~scale:ctx.scale () in
+  print_string (E.Fig6.render t);
+  print_newline ();
+  print_string (E.Intext.render_rel_prob (E.Intext.rel_prob_vs_std t.E.Fig6.results));
+  save ctx "fig6.csv" (E.Export.fig6_csv t)
+
+let run_fig7 ctx =
+  let t = E.Fig7.run () in
+  print_string (E.Fig7.render t);
+  save ctx "fig7.csv" (E.Export.fig7_csv t);
+  save ctx "fig7.gp"
+    (E.Export.gnuplot_density ~data:"fig7.csv" ~title:"special vs normal distribution")
+
+let run_fig8 ctx =
+  let t = E.Fig8.run () in
+  print_string (E.Fig8.render t);
+  save ctx "fig8.csv" (E.Export.fig8_csv t);
+  save ctx "fig8.gp" (E.Export.gnuplot_fig8 ~data:"fig8.csv")
+
+let run_fig9 ctx =
+  let t = E.Fig9.run () in
+  print_string (E.Fig9.render t);
+  save ctx "fig9.csv" (E.Export.fig9_csv t)
+
+let run_methods ctx =
+  print_string
+    (E.Intext.render_methods (E.Intext.methods_vs_mc ?domains:ctx.domains ~scale:ctx.scale ()))
+
+let run_ablation ctx =
+  print_string
+    (E.Ablation.render_correlation
+       (E.Ablation.correlation_under_variable_ul ?domains:ctx.domains ~scale:ctx.scale
+          ~seed:(Int64.add 51L ctx.seed) ()));
+  print_newline ();
+  print_string
+    (E.Ablation.render_shapes
+       (E.Ablation.cluster_under_shapes ?domains:ctx.domains ~scale:ctx.scale
+          ~seed:(Int64.add 61L ctx.seed) ()));
+  print_newline ();
+  print_string
+    (E.Ablation.render_tradeoff
+       (E.Ablation.robust_heft_tradeoff ~seed:(Int64.add 17L ctx.seed) ()));
+  print_newline ();
+  print_string
+    (E.Ablation.render_pareto
+       (E.Ablation.pareto_front_study ?domains:ctx.domains ~scale:ctx.scale
+          ~seed:(Int64.add 71L ctx.seed) ()))
+
+(* --- schedule inspection commands --- *)
+
+let heuristics_with_extras =
+  E.Runner.heuristics
+  @ [ ("CPOP", Sched.Cpop.schedule); ("DLS", Sched.Dls.schedule) ]
+
+let parse_case s =
+  match String.lowercase_ascii s with
+  | "cholesky" -> Ok E.Case.Cholesky
+  | "gauss" | "gauss-elim" -> Ok E.Case.Gauss_elim
+  | "random" -> Ok E.Case.Random_graph
+  | other -> Error (`Msg (Printf.sprintf "unknown workload %S (cholesky|gauss|random)" other))
+
+let case_arg =
+  let print fmt k = Format.pp_print_string fmt (E.Case.kind_name k) in
+  Arg.(
+    value
+    & opt (conv (parse_case, print)) E.Case.Cholesky
+    & info [ "workload" ] ~docv:"KIND" ~doc:"Workload kind: cholesky, gauss or random.")
+
+let n_arg =
+  Arg.(value & opt int 10 & info [ "n" ] ~docv:"N" ~doc:"Approximate task count.")
+
+let procs_arg =
+  Arg.(value & opt int 3 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processor count.")
+
+let ul_arg =
+  Arg.(value & opt float 1.1 & info [ "ul" ] ~docv:"UL" ~doc:"Uncertainty level (>= 1).")
+
+let instance kind n procs ul seed =
+  E.Case.instantiate
+    (E.Case.make ~kind ~n_target:n ~n_procs:procs ~ul ~seed:(Int64.add 1L seed) ())
+
+let run_gantt kind n procs ul seed =
+  let inst = instance kind n procs ul seed in
+  List.iter
+    (fun (name, h) ->
+      let sched = h inst.E.Case.graph inst.E.Case.platform in
+      let times = Sched.Simulator.deterministic sched inst.E.Case.platform in
+      Printf.printf "%s (makespan %.2f):\n%s\n" name times.Sched.Simulator.makespan
+        (Sched.Gantt.render sched times))
+    heuristics_with_extras
+
+let run_dot kind n procs ul seed =
+  let inst = instance kind n procs ul seed in
+  print_string (Dag.Dot.to_dot inst.E.Case.graph)
+
+let run_bounds kind n procs ul seed =
+  let inst = instance kind n procs ul seed in
+  let rng = Prng.Xoshiro.create (Int64.add 77L seed) in
+  let sched =
+    Sched.Random_sched.generate ~rng ~graph:inst.E.Case.graph ~n_procs:procs
+  in
+  let b = Makespan.Bounds.run sched inst.E.Case.platform inst.E.Case.model in
+  let mc =
+    Makespan.Montecarlo.run ~rng ~count:20000 sched inst.E.Case.platform inst.E.Case.model
+  in
+  let open Distribution in
+  Printf.printf
+    "Kleindorfer-style bracket on a random schedule (%s, %d tasks, %d procs, UL %g):\n"
+    (E.Case.kind_name kind) (Dag.Graph.n_tasks inst.E.Case.graph) procs ul;
+  Printf.printf "  lower (comonotone maxima):  mean %10.3f  std %8.4f\n"
+    (Dist.mean b.Makespan.Bounds.lower) (Dist.std b.Makespan.Bounds.lower);
+  Printf.printf "  Monte Carlo (20000 runs):   mean %10.3f  std %8.4f\n"
+    (Empirical.mean mc) (Empirical.std mc);
+  Printf.printf "  upper (independent maxima): mean %10.3f  std %8.4f\n"
+    (Dist.mean b.Makespan.Bounds.upper) (Dist.std b.Makespan.Bounds.upper);
+  Printf.printf "  CDF bracket holds: %b\n"
+    (Makespan.Bounds.enclose b (Empirical.to_dist ~points:128 mc))
+
+let run_campaign ctx =
+  let dir = Option.value ctx.out ~default:"repro-campaign" in
+  let t = E.Campaign.run ?domains:ctx.domains ~scale:ctx.scale ~dir () in
+  print_string (E.Campaign.render t);
+  print_newline ();
+  let results =
+    (* reuse the §VII in-text computation over campaign rows *)
+    List.map
+      (fun (r : E.Campaign.case_result) ->
+        {
+          E.Runner.instance = E.Case.instantiate r.E.Campaign.case;
+          delta = 0.;
+          gamma = 1.;
+          sources = r.E.Campaign.sources;
+          rows = r.E.Campaign.rows;
+        })
+      t.E.Campaign.results
+  in
+  print_string (E.Intext.render_rel_prob (E.Intext.rel_prob_vs_std results))
+
+let run_all ctx =
+  let sep () = print_string "\n======================================================\n\n" in
+  run_fig1 ctx;
+  sep ();
+  run_fig2 ctx;
+  sep ();
+  run_fig_corr E.Fig_corr.fig3 "fig3" ctx;
+  sep ();
+  run_fig_corr E.Fig_corr.fig4 "fig4" ctx;
+  sep ();
+  run_fig_corr E.Fig_corr.fig5 "fig5" ctx;
+  sep ();
+  run_fig6 ctx;
+  sep ();
+  run_fig7 ctx;
+  sep ();
+  run_fig8 ctx;
+  sep ();
+  run_fig9 ctx;
+  sep ();
+  run_methods ctx;
+  sep ();
+  run_ablation ctx
+
+let ctx_term =
+  Term.(
+    const (fun scale domains seed out verbose ->
+        setup_logging verbose;
+        { scale; domains; seed; out })
+    $ scale_arg $ domains_arg $ seed_arg $ out_arg $ verbose_arg)
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ ctx_term)
+
+let case_cmd name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const f $ case_arg $ n_arg $ procs_arg $ ul_arg $ seed_arg)
+
+let () =
+  let cmds =
+    [
+      cmd "fig1" "Precision of the independence assumption vs graph size." run_fig1;
+      cmd "fig2" "Calculated vs experimental makespan density." run_fig2;
+      cmd "fig3" "Correlation matrix: Cholesky 10 tasks / 3 procs / UL 1.01."
+        (run_fig_corr E.Fig_corr.fig3 "fig3");
+      cmd "fig4" "Correlation matrix: random 30 tasks / 8 procs / UL 1.01."
+        (run_fig_corr E.Fig_corr.fig4 "fig4");
+      cmd "fig5" "Correlation matrix: Gaussian elimination 103 tasks / 16 procs / UL 1.1."
+        (run_fig_corr E.Fig_corr.fig5 "fig5");
+      cmd "fig6" "Mean/std Pearson matrix over the 24 paper cases (+ §VII in-text)."
+        run_fig6;
+      cmd "fig7" "Special multi-modal distribution vs matching normal." run_fig7;
+      cmd "fig8" "CLT convergence of n-fold self-sums." run_fig8;
+      cmd "fig9" "Slack vs robustness on a join graph." run_fig9;
+      cmd "methods" "Classical/Dodin/Spelde accuracy against Monte Carlo." run_methods;
+      cmd "ablation" "Extension: variable-UL correlation shift + RobustHEFT sweep."
+        run_ablation;
+      cmd "campaign"
+        "Checkpointed Fig. 6 sweep: per-case CSVs in --out (default repro-campaign/), \
+         resumable."
+        run_campaign;
+      cmd "all" "Every figure and in-text result in sequence." run_all;
+      case_cmd "gantt" "Gantt charts of all heuristics on a chosen workload." run_gantt;
+      case_cmd "dot" "Export a workload DAG as Graphviz." run_dot;
+      case_cmd "bounds" "Kleindorfer-style bracket vs Monte Carlo on a random schedule."
+        run_bounds;
+    ]
+  in
+  let info =
+    Cmd.info "repro" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of Canon & Jeannot, 'A Comparison of Robustness Metrics for \
+         Scheduling DAGs on Heterogeneous Systems' (HeteroPar/CLUSTER 2007)."
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

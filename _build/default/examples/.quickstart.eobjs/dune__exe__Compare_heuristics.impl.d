@@ -1,0 +1,1 @@
+examples/compare_heuristics.ml: Core List Printf

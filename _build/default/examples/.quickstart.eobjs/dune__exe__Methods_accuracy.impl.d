@@ -1,0 +1,1 @@
+examples/methods_accuracy.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/robust_scheduling.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/robustness_study.ml: Array Core List Printf Stats Sys

@@ -1,0 +1,1 @@
+examples/uncertainty_toolbox.ml: Array Core Int64 List Printf

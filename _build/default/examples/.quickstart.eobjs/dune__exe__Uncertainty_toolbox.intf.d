@@ -1,0 +1,1 @@
+examples/uncertainty_toolbox.mli:

@@ -1,0 +1,59 @@
+(* Compare the four scheduling heuristics (HEFT, BIL, Hyb.BMCT, CPOP) and
+   the best of a batch of random schedules across three workload families,
+   reporting both the performance metric (expected makespan) and the key
+   robustness metric (makespan standard deviation).
+
+   Run with:  dune exec examples/compare_heuristics.exe *)
+
+let heuristics =
+  [ ("HEFT", Core.Heuristics.heft); ("BIL", Core.Heuristics.bil);
+    ("Hyb.BMCT", Core.Heuristics.bmct); ("CPOP", Core.Heuristics.cpop) ]
+
+let evaluate name sched platform model =
+  let a = Core.analyze sched platform model in
+  let m = a.Core.metrics in
+  Printf.printf "  %-12s  E(M) %9.2f   σ(M) %7.3f   slack %9.2f   lateness %7.3f\n" name
+    m.Core.Robustness.expected_makespan m.Core.Robustness.makespan_std
+    m.Core.Robustness.avg_slack m.Core.Robustness.avg_lateness;
+  m.Core.Robustness.expected_makespan
+
+let study ~title ~graph ~n_procs ~platform_of =
+  let rng = Core.Rng.create 7L in
+  let platform = platform_of rng (Core.Graph.n_tasks graph) in
+  let model = Core.Uncertainty.make ~ul:1.1 () in
+  Printf.printf "\n%s (%d tasks, %d procs, UL = 1.1)\n" title (Core.Graph.n_tasks graph)
+    n_procs;
+  List.iter (fun (name, h) -> ignore (evaluate name (h graph platform) platform model)) heuristics;
+  (* best expected makespan among 50 random schedules, for perspective *)
+  let randoms = Core.Random_sched.generate_many ~rng ~graph ~n_procs ~count:50 in
+  let best =
+    List.fold_left
+      (fun acc s ->
+        let a = Core.analyze s platform model in
+        if a.Core.metrics.Core.Robustness.expected_makespan
+           < (match acc with None -> infinity | Some (m, _) -> m)
+        then Some (a.Core.metrics.Core.Robustness.expected_makespan, s)
+        else acc)
+      None randoms
+  in
+  match best with
+  | Some (_, s) -> ignore (evaluate "best-random" s platform model)
+  | None -> ()
+
+let () =
+  print_endline "Heuristic comparison: makespan-centric schedulers under uncertainty";
+  print_endline "(paper shape: the heuristics win on E(M) and usually on σ(M))";
+  study ~title:"Tiled Cholesky (4x4 tiles)"
+    ~graph:(Core.Workload.cholesky ~tiles:4 ())
+    ~n_procs:4
+    ~platform_of:(fun rng n -> Core.Platform.Gen.uniform_minval ~rng ~n_tasks:n ~n_procs:4 ());
+  study ~title:"Gaussian elimination (n = 8)"
+    ~graph:(Core.Workload.gauss_elim ~n:8 ())
+    ~n_procs:4
+    ~platform_of:(fun rng n -> Core.Platform.Gen.uniform_minval ~rng ~n_tasks:n ~n_procs:4 ());
+  let rng0 = Core.Rng.create 99L in
+  study ~title:"Random layered DAG (30 tasks, CVB platform)"
+    ~graph:(Core.Workload.random_dag ~rng:rng0 ~n:30 ())
+    ~n_procs:8
+    ~platform_of:(fun rng n ->
+      Core.Platform.Gen.cvb ~rng ~n_tasks:n ~n_procs:8 ~mu_task:20. ~v_task:0.5 ~v_mach:0.5 ())

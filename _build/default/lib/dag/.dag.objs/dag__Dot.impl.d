@@ -1,0 +1,1 @@
+lib/dag/dot.ml: Array Buffer Graph Option Printf

@@ -1,0 +1,1 @@
+lib/dag/graph.ml: Array Float Hashtbl Int List Option Queue

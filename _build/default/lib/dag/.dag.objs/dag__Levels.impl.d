@@ -1,0 +1,1 @@
+lib/dag/levels.ml: Array Float Graph List

@@ -1,0 +1,1 @@
+lib/dag/series_parallel.ml: Array Graph Hashtbl List Option Printf Queue

@@ -1,0 +1,1 @@
+lib/dag/series_parallel.mli: Graph

@@ -1,0 +1,10 @@
+(** Graphviz export of task DAGs, for debugging and documentation. *)
+
+val to_dot :
+  ?name:string ->
+  ?task_label:(Graph.task -> string) ->
+  ?edge_label:(Graph.task -> Graph.task -> string) ->
+  Graph.t ->
+  string
+(** [to_dot g] renders a [digraph]. Default labels are the task index and
+    the communication volume. *)

@@ -1,0 +1,1 @@
+lib/distribution/dist.ml: Array Float Int List Numerics

@@ -1,0 +1,1 @@
+lib/distribution/dist.mli:

@@ -1,0 +1,1 @@
+lib/distribution/empirical.ml: Array Dist Float Int Numerics

@@ -1,0 +1,1 @@
+lib/distribution/family.ml: Dist Float List Numerics

@@ -1,0 +1,1 @@
+lib/distribution/normal_pair.ml: Dist Family Float List Numerics

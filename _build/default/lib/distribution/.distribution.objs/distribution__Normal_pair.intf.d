@@ -1,0 +1,1 @@
+lib/distribution/normal_pair.mli: Dist

@@ -1,0 +1,124 @@
+(** Discretized probability distributions and the two operations that
+    build makespan distributions: the {e sum} of independent random
+    variables (convolution of densities) and their {e maximum} (product of
+    CDFs).
+
+    Mirrors the paper's numerical engine: densities sampled on a uniform
+    grid (64 points by default, as §V found sufficient), cubic-spline
+    resampling between operations, Simpson integration for moments.
+    Deterministic quantities are carried exactly as {!const} values rather
+    than as degenerate grids. *)
+
+type t
+(** A distribution: either an exact point mass or a sampled density. *)
+
+val default_points : int
+(** Grid resolution used when [?points] is omitted (64, as in the paper). *)
+
+(** {1 Constructors} *)
+
+val const : float -> t
+(** [const v] is the Dirac distribution at [v]. *)
+
+val of_samples_pdf : lo:float -> dx:float -> float array -> t
+(** [of_samples_pdf ~lo ~dx pdf] wraps density samples taken at
+    [lo, lo+dx, …]; values are clamped at 0 and renormalized. Needs at
+    least two samples, [dx > 0], and positive total mass. *)
+
+val of_fn : ?points:int -> lo:float -> hi:float -> (float -> float) -> t
+(** [of_fn ~lo ~hi f] samples the (possibly unnormalized) density [f] on
+    [\[lo, hi\]] and normalizes. Requires [lo < hi]. *)
+
+(** {1 Inspection} *)
+
+val is_const : t -> bool
+
+val support : t -> float * float
+(** Smallest interval carrying all the mass (a point for {!const}). *)
+
+val pdf_at : t -> float -> float
+(** Density at a point by spline interpolation; 0 outside the support.
+    Raises [Invalid_argument] on a {!const} distribution (no density). *)
+
+val cdf_at : t -> float -> float
+(** P(X ≤ x); a step function for {!const}. *)
+
+val to_arrays : t -> float array * float array
+(** [(xs, pdf)] of the underlying grid; a {!const} yields a narrow
+    two-point spike (useful only for plotting). *)
+
+val cdf_arrays : t -> float array * float array
+(** [(xs, cdf)] of the underlying grid. *)
+
+(** {1 Moments and functionals} *)
+
+val mean : t -> float
+val variance : t -> float
+val std : t -> float
+
+val skewness : t -> float
+(** Standardized third central moment ([0] for a point mass or a
+    zero-variance grid). Under summation of i.i.d. variables it decays as
+    [1/√n] — a sharper CLT-convergence witness than KS. *)
+
+val kurtosis_excess : t -> float
+(** Standardized fourth central moment minus 3 (0 for a normal); decays
+    as [1/n] under i.i.d. summation. *)
+
+val entropy : t -> float
+(** Differential entropy [−∫ f ln f]; [neg_infinity] for {!const}. *)
+
+val quantile : t -> float -> float
+(** [quantile d p] with [p ∈ \[0,1\]]. *)
+
+val prob_between : t -> float -> float -> float
+(** [prob_between d a b = P(a ≤ X ≤ b)]; 0 when [a > b]. *)
+
+val mean_above : t -> float -> float
+(** [mean_above d c = E\[X | X > c\]], the conditional mean of the upper
+    tail — the quantity inside the paper's average-lateness metric.
+    Returns [c] when the tail mass is (numerically) empty. *)
+
+(** {1 Transformations} *)
+
+val shift : t -> float -> t
+(** [shift d c] is the distribution of [X + c]. *)
+
+val scale : t -> float -> t
+(** [scale d c] is the distribution of [c·X]; requires [c > 0]. *)
+
+val resample : ?points:int -> t -> t
+(** Resample the density onto a fresh uniform grid of [points] samples. *)
+
+val trim : ?eps:float -> ?points:int -> t -> t
+(** Drop CDF tails below [eps] (default 1e-9) and resample onto [points]
+    samples. The sum/max operations apply this internally so that the
+    grid keeps tracking the region that actually carries mass (after many
+    sums the support grows linearly but σ only as √k). *)
+
+(** {1 Algebra of independent random variables} *)
+
+val add : ?points:int -> t -> t -> t
+(** [add d1 d2] is the distribution of [X₁ + X₂] for independent inputs:
+    densities are convolved at a common resolution (FFT / overlap–add),
+    then resampled to [points]. *)
+
+val max_indep : ?points:int -> t -> t -> t
+(** [max_indep d1 d2] is the distribution of [max(X₁, X₂)] under
+    independence: [F = F₁·F₂], i.e. density [f₁F₂ + f₂F₁]. A point mass
+    created by truncation against a {!const} is spread over the first grid
+    cell (documented approximation). *)
+
+val max_comonotone : ?points:int -> t -> t -> t
+(** [max_comonotone d1 d2] is the distribution of [max(X₁, X₂)] under
+    perfect positive dependence: [F = min(F₁, F₂)]. Since
+    [P(max ≤ x) ≤ min(F₁(x), F₂(x))] holds for {e any} dependence, this
+    is the stochastically smallest possible maximum — the other end of
+    the Kleindorfer-style bracket whose independent end is
+    {!max_indep}. Note [max_comonotone d d = d]. *)
+
+val add_list : ?points:int -> t list -> t
+(** Fold of {!add}; the empty list is [const 0.]. *)
+
+val max_list : ?points:int -> t list -> t
+(** Fold of {!max_indep}; raises [Invalid_argument] on the empty list. *)

@@ -1,0 +1,76 @@
+type t = { xs : float array } (* sorted ascending *)
+
+let of_samples samples =
+  if Array.length samples = 0 then invalid_arg "Empirical.of_samples: empty sample";
+  let xs = Array.copy samples in
+  Array.sort Float.compare xs;
+  { xs }
+
+let size t = Array.length t.xs
+
+let mean t =
+  Numerics.Array_ops.sum t.xs /. float_of_int (size t)
+
+let variance t =
+  let n = size t in
+  if n < 2 then 0.
+  else begin
+    let m = mean t in
+    let acc = ref 0. in
+    Array.iter
+      (fun x ->
+        let d = x -. m in
+        acc := !acc +. (d *. d))
+      t.xs;
+    !acc /. float_of_int (n - 1)
+  end
+
+let std t = sqrt (variance t)
+
+let cdf_at t x =
+  (* count of samples <= x, by binary search for the upper bound *)
+  let n = size t in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.xs.(mid) <= x then lo := mid + 1 else hi := mid
+  done;
+  float_of_int !lo /. float_of_int n
+
+let quantile t p =
+  if p < 0. || p > 1. then invalid_arg "Empirical.quantile: p must be in [0,1]";
+  let n = size t in
+  if n = 1 then t.xs.(0)
+  else begin
+    let pos = p *. float_of_int (n - 1) in
+    let i = Int.min (int_of_float pos) (n - 2) in
+    let frac = pos -. float_of_int i in
+    t.xs.(i) +. (frac *. (t.xs.(i + 1) -. t.xs.(i)))
+  end
+
+let min t = t.xs.(0)
+let max t = t.xs.(size t - 1)
+
+let to_dist ?(points = Dist.default_points) t =
+  let lo = min t and hi = max t in
+  if hi <= lo then Dist.const lo
+  else begin
+    (* histogram with [points − 1] equal-width cells, sampled at cell
+       centers then re-gridded; density = count / (n · width) *)
+    let cells = points - 1 in
+    let width = (hi -. lo) /. float_of_int cells in
+    let counts = Array.make cells 0 in
+    Array.iter
+      (fun x ->
+        let c = Int.min (cells - 1) (int_of_float ((x -. lo) /. width)) in
+        counts.(c) <- counts.(c) + 1)
+      t.xs;
+    let n = float_of_int (size t) in
+    let density = Array.map (fun c -> float_of_int c /. (n *. width)) counts in
+    (* place samples at cell centers; Dist renormalizes *)
+    let dx = width in
+    let first_center = lo +. (width /. 2.) in
+    Dist.of_samples_pdf ~lo:first_center ~dx density
+  end
+
+let sorted t = t.xs

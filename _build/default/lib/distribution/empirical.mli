@@ -1,0 +1,33 @@
+(** Empirical distributions built from Monte-Carlo realizations.
+
+    Fig. 1 and Fig. 2 of the paper compare the analytically calculated
+    makespan distribution against the distribution observed over (up to)
+    100 000 sampled realizations; this module provides the observed side. *)
+
+type t
+(** A sorted sample. *)
+
+val of_samples : float array -> t
+(** [of_samples xs] takes ownership of a copy of the non-empty sample. *)
+
+val size : t -> int
+
+val mean : t -> float
+val variance : t -> float (* unbiased *)
+val std : t -> float
+
+val cdf_at : t -> float -> float
+(** Right-continuous empirical CDF. *)
+
+val quantile : t -> float -> float
+(** Order-statistic quantile with linear interpolation, [p ∈ \[0,1\]]. *)
+
+val min : t -> float
+val max : t -> float
+
+val to_dist : ?points:int -> t -> Dist.t
+(** Histogram density over the sample range on a uniform grid, as a
+    {!Dist.t} — the “experimental distribution” curve of Fig. 2. *)
+
+val sorted : t -> float array
+(** The underlying sorted sample (not a copy; do not mutate). *)

@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Buffer Dag Distribution Float Int List Makespan Parallel Platform Printf Prng Render Runner Scale Sched Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/campaign.ml: Array Case Correlate Elog Export Filename Fun List Metrics Printf Runner Scale Stats String Sys

@@ -1,0 +1,1 @@
+lib/experiments/campaign.mli: Case Runner Scale Sched

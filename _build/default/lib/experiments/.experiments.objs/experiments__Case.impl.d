@@ -1,0 +1,1 @@
+lib/experiments/case.ml: Dag List Option Platform Printf Prng Workloads

@@ -1,0 +1,1 @@
+lib/experiments/case.mli: Dag Platform Workloads

@@ -1,0 +1,1 @@
+lib/experiments/correlate.ml: Array Float List Metrics Runner Stats

@@ -1,0 +1,1 @@
+lib/experiments/correlate.mli: Runner

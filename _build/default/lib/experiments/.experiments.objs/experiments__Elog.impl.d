@@ -1,0 +1,1 @@
+lib/experiments/elog.ml: Format Logs

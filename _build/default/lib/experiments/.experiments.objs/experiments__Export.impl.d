@@ -1,0 +1,1 @@
+lib/experiments/export.ml: Array Buffer Fig1 Fig2 Fig6 Fig7 Fig8 Fig9 Fig_corr Filename Fun List Metrics Printf Runner Stats String Sys

@@ -1,0 +1,1 @@
+lib/experiments/export.mli: Fig1 Fig2 Fig6 Fig7 Fig8 Fig9 Fig_corr Runner

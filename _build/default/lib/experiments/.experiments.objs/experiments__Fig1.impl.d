@@ -1,0 +1,1 @@
+lib/experiments/fig1.ml: Dag Elog List Makespan Platform Prng Render Scale Sched Stats Workloads

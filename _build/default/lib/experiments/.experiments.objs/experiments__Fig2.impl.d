@@ -1,0 +1,1 @@
+lib/experiments/fig2.ml: Array Dag Distribution Float Makespan Numerics Platform Printf Prng Render Scale Sched Stats Workloads

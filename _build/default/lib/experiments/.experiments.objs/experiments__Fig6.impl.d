@@ -1,0 +1,1 @@
+lib/experiments/fig6.ml: Case Correlate List Metrics Printf Runner Stats

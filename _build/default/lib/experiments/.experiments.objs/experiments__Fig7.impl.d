@@ -1,0 +1,1 @@
+lib/experiments/fig7.ml: Array Dist Distribution Family Numerics Printf Render

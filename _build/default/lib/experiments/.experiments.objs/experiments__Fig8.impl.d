@@ -1,0 +1,1 @@
+lib/experiments/fig8.ml: Dist Distribution Family List Render Stats

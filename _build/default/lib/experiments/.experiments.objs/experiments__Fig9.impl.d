@@ -1,0 +1,1 @@
+lib/experiments/fig9.ml: Array Distribution List Makespan Platform Render Sched Workloads

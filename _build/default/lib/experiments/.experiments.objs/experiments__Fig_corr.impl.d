@@ -1,0 +1,1 @@
+lib/experiments/fig_corr.ml: Array Buffer Case Correlate Float List Metrics Printf Render Runner Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig_corr.mli: Case Runner Scale

@@ -1,0 +1,1 @@
+lib/experiments/intext.ml: Array Case Float Int64 List Makespan Printf Prng Render Runner Scale Sched Stats

@@ -1,0 +1,1 @@
+lib/experiments/intext.mli: Case Runner Scale

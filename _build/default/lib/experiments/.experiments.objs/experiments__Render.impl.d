@@ -1,0 +1,1 @@
+lib/experiments/render.ml: Buffer Int List Printf String

@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Array Case Distribution Elog Int Int64 List Makespan Metrics Parallel Prng Scale Sched

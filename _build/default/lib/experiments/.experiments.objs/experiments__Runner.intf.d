@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Case Dag Platform Scale Sched

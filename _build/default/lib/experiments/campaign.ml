@@ -1,0 +1,122 @@
+type case_result = {
+  case : Case.t;
+  rows : float array array;
+  sources : Runner.source array;
+  from_checkpoint : bool;
+}
+
+type t = {
+  dir : string;
+  results : case_result list;
+  mean : float array array;
+  std : float array array;
+}
+
+let parse_source s =
+  if String.length s > 7 && String.sub s 0 7 = "random-" then
+    match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+    | Some k -> Runner.Random k
+    | None -> invalid_arg "Campaign.load_rows: malformed source"
+  else Runner.Heuristic s
+
+let load_rows path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let acc = ref [] in
+        (try
+           while true do
+             acc := input_line ic :: !acc
+           done
+         with End_of_file -> ());
+        List.rev !acc)
+  in
+  match lines with
+  | [] -> invalid_arg "Campaign.load_rows: empty file"
+  | header :: rows ->
+    let expected = "source," ^ String.concat "," (Array.to_list Metrics.Robustness.labels) in
+    if header <> expected then invalid_arg "Campaign.load_rows: unexpected header";
+    rows
+    |> List.filter (fun l -> String.trim l <> "")
+    |> List.map (fun line ->
+           match String.split_on_char ',' line with
+           | source :: values when List.length values = Metrics.Robustness.n_metrics ->
+             let row =
+               Array.of_list
+                 (List.map
+                    (fun v ->
+                      match float_of_string_opt v with
+                      | Some f -> f
+                      | None -> invalid_arg "Campaign.load_rows: malformed number")
+                    values)
+             in
+             (parse_source source, row)
+           | _ -> invalid_arg "Campaign.load_rows: malformed row")
+    |> Array.of_list
+
+let random_count sources =
+  Array.fold_left
+    (fun acc s -> match s with Runner.Random _ -> acc + 1 | _ -> acc)
+    0 sources
+
+let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
+  let cases = match cases with Some c -> c | None -> Case.paper_cases () in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let results =
+    List.map
+      (fun case ->
+        let path = Filename.concat dir (case.Case.id ^ ".csv") in
+        let wanted = Scale.schedules scale case.Case.paper_schedules in
+        let checkpoint =
+          if Sys.file_exists path then
+            match load_rows path with
+            | pairs when random_count (Array.map fst pairs) >= wanted -> Some pairs
+            | _ | (exception Invalid_argument _) -> None
+          else None
+        in
+        match checkpoint with
+        | Some pairs ->
+          Elog.info "campaign: %s loaded from checkpoint (%d rows)" case.Case.id
+            (Array.length pairs);
+          {
+            case;
+            rows = Array.map snd pairs;
+            sources = Array.map fst pairs;
+            from_checkpoint = true;
+          }
+        | None ->
+          let result = Runner.run ?domains ~scale ?slack_mode case in
+          ignore (Export.write_file ~dir ~name:(case.Case.id ^ ".csv")
+                    (Export.schedules_csv result));
+          {
+            case;
+            rows = result.Runner.rows;
+            sources = result.Runner.sources;
+            from_checkpoint = false;
+          })
+      cases
+  in
+  let matrices =
+    List.map
+      (fun r ->
+        let randoms =
+          Array.of_list
+            (List.filteri
+               (fun i _ -> match r.sources.(i) with Runner.Random _ -> true | _ -> false)
+               (Array.to_list r.rows))
+        in
+        Correlate.matrix randoms)
+      results
+  in
+  let mean, std = Correlate.mean_std matrices in
+  { dir; results; mean; std }
+
+let render t =
+  let loaded = List.length (List.filter (fun r -> r.from_checkpoint) t.results) in
+  Printf.sprintf
+    "Campaign over %d cases in %s (%d loaded from checkpoints)\n\
+     Pearson coefficients (upper: mean, lower: std dev):\n\n%s"
+    (List.length t.results) t.dir loaded
+    (Stats.Matrix_render.render_mean_std ~labels:Metrics.Robustness.labels t.mean t.std)

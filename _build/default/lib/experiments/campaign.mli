@@ -1,0 +1,42 @@
+(** Checkpointed experiment campaigns.
+
+    A full-scale Fig. 6 sweep (24 cases × 10 000 schedules) is a
+    multi-hour single-core run; a campaign persists each case's
+    per-schedule dataset to [dir/<case-id>.csv] as it completes, so an
+    interrupted run resumes where it left off and finished cases are
+    never recomputed. The stored CSVs are exactly
+    {!Export.schedules_csv}, i.e. also directly consumable by external
+    plotting tools. *)
+
+type case_result = {
+  case : Case.t;
+  rows : float array array;  (** raw metric vectors, labels order *)
+  sources : Runner.source array;
+  from_checkpoint : bool;  (** loaded from disk rather than recomputed *)
+}
+
+type t = {
+  dir : string;
+  results : case_result list;
+  mean : float array array;  (** Fig. 6-style aggregate over the campaign *)
+  std : float array array;
+}
+
+val load_rows : string -> (Runner.source * float array) array
+(** Parse a stored per-schedule CSV back into (source, metric-vector)
+    pairs. Raises [Invalid_argument] on malformed files. *)
+
+val run :
+  ?domains:int ->
+  ?scale:Scale.t ->
+  ?slack_mode:Sched.Slack.graph_mode ->
+  dir:string ->
+  ?cases:Case.t list ->
+  unit ->
+  t
+(** Run (or resume) a campaign over [cases] (default
+    {!Case.paper_cases}). A case is recomputed when its checkpoint is
+    missing or holds fewer random schedules than the requested scale
+    (so upgrading [smoke] checkpoints to a [small] run redoes them). *)
+
+val render : t -> string

@@ -1,0 +1,46 @@
+let matrix ?(invert = true) ?(method_ = `Pearson) rows =
+  if Array.length rows = 0 then invalid_arg "Correlate.matrix: no schedules";
+  let data = if invert then Metrics.Inversion.apply_all rows else rows in
+  let k = Metrics.Robustness.n_metrics in
+  let cols = Array.init k (fun j -> Array.map (fun row -> row.(j)) data) in
+  match method_ with
+  | `Pearson -> Stats.Correlation.pearson_matrix cols
+  | `Spearman ->
+    let m = Array.make_matrix k k 1. in
+    for i = 0 to k - 1 do
+      for j = i + 1 to k - 1 do
+        let r = Stats.Correlation.spearman cols.(i) cols.(j) in
+        m.(i).(j) <- r;
+        m.(j).(i) <- r
+      done
+    done;
+    m
+
+let of_result result = matrix (Runner.random_rows result)
+
+let mean_std matrices =
+  match matrices with
+  | [] -> invalid_arg "Correlate.mean_std: no matrices"
+  | first :: _ ->
+    let k = Array.length first in
+    let mean = Array.make_matrix k k 0. in
+    let std = Array.make_matrix k k 0. in
+    for i = 0 to k - 1 do
+      for j = 0 to k - 1 do
+        let values =
+          List.filter_map
+            (fun m -> if Float.is_nan m.(i).(j) then None else Some m.(i).(j))
+            matrices
+        in
+        match values with
+        | [] ->
+          mean.(i).(j) <- Float.nan;
+          std.(i).(j) <- Float.nan
+        | vs ->
+          let a = Array.of_list vs in
+          let m = Stats.Descriptive.mean a in
+          mean.(i).(j) <- m;
+          std.(i).(j) <- sqrt (Stats.Descriptive.population_variance a)
+      done
+    done;
+    (mean, std)

@@ -1,0 +1,20 @@
+(** Pearson-correlation matrices over metric vectors, in the paper's
+    orientation (slack and probabilistic metrics inverted so optimizing
+    every metric means minimizing it — §VI). *)
+
+val matrix :
+  ?invert:bool -> ?method_:[ `Pearson | `Spearman ] -> float array array -> float array array
+(** [matrix rows] is the 8×8 correlation matrix over the (by default
+    inverted) metric columns. Zero-variance columns yield [nan] entries.
+    [`Spearman] (rank correlation) is the robustness check for the
+    "slightly curved" point clouds the paper mentions; default
+    [`Pearson], as in the paper. *)
+
+val of_result : Runner.result -> float array array
+(** Correlations over the {e random} schedules of a run, as the paper
+    computes them (heuristic points are plotted but excluded). *)
+
+val mean_std : float array array list -> float array array * float array array
+(** Element-wise mean and (population) standard deviation across several
+    correlation matrices, ignoring [nan] entries per cell — the two
+    triangles of Fig. 6. *)

@@ -1,0 +1,5 @@
+let src = Logs.Src.create "repro.experiments" ~doc:"experiment sweep progress"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let info fmt = Format.kasprintf (fun s -> Log.info (fun m -> m "%s" s)) fmt

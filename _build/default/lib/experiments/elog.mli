@@ -1,0 +1,10 @@
+(** Progress logging for the long-running sweeps.
+
+    Enable with [Logs.set_level (Some Logs.Info)] plus any reporter (the
+    [repro] CLI does this under [-v]); silent by default. *)
+
+val src : Logs.src
+
+val info : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [info fmt …] logs at info level on {!src} (eagerly formatted; these
+    messages are emitted a handful of times per sweep). *)

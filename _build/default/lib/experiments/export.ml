@@ -1,0 +1,137 @@
+let series_csv ~headers ~rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (String.concat "," headers);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      if List.length row <> List.length headers then
+        invalid_arg "Export.series_csv: ragged row";
+      Buffer.add_string buf (String.concat "," (List.map (Printf.sprintf "%.9g") row));
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let write_file ~dir ~name content =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc content);
+  path
+
+let fig1_csv (t : Fig1.t) =
+  series_csv ~headers:[ "n_tasks"; "ks"; "cm" ]
+    ~rows:(List.map (fun p -> [ float_of_int p.Fig1.n_tasks; p.Fig1.ks; p.Fig1.cm ]) t)
+
+let fig2_csv (t : Fig2.t) =
+  series_csv ~headers:[ "makespan"; "calculated"; "experimental" ]
+    ~rows:
+      (List.init (Array.length t.Fig2.xs) (fun i ->
+           [ t.Fig2.xs.(i); t.Fig2.calculated.(i); t.Fig2.experimental.(i) ]))
+
+let fig_corr_csv (t : Fig_corr.t) =
+  let labels = Metrics.Robustness.labels in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf (Stats.Matrix_render.to_csv ~labels t.Fig_corr.matrix);
+  List.iter
+    (fun (name, row) ->
+      Buffer.add_string buf
+        (Printf.sprintf "# %s,%s\n" name
+           (String.concat ","
+              (List.map (Printf.sprintf "%.9g") (Array.to_list row)))))
+    (Runner.heuristic_rows t.Fig_corr.result);
+  Buffer.contents buf
+
+let schedules_csv (result : Runner.result) =
+  let labels = Metrics.Robustness.labels in
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    ("source," ^ String.concat "," (Array.to_list labels) ^ "\n");
+  Array.iteri
+    (fun i src ->
+      let name =
+        match src with
+        | Runner.Random k -> Printf.sprintf "random-%d" k
+        | Runner.Heuristic h -> h
+      in
+      Buffer.add_string buf name;
+      Array.iter
+        (fun v -> Buffer.add_string buf (Printf.sprintf ",%.9g" v))
+        result.Runner.rows.(i);
+      Buffer.add_char buf '\n')
+    result.Runner.sources;
+  Buffer.contents buf
+
+let fig6_csv (t : Fig6.t) =
+  let labels = Metrics.Robustness.labels in
+  "# mean\n"
+  ^ Stats.Matrix_render.to_csv ~labels t.Fig6.mean
+  ^ "# std\n"
+  ^ Stats.Matrix_render.to_csv ~labels t.Fig6.std
+
+let fig7_csv (t : Fig7.t) =
+  series_csv ~headers:[ "x"; "special"; "normal" ]
+    ~rows:
+      (List.init (Array.length t.Fig7.xs) (fun i ->
+           [ t.Fig7.xs.(i); t.Fig7.special.(i); t.Fig7.normal.(i) ]))
+
+let fig8_csv (t : Fig8.t) =
+  series_csv ~headers:[ "n_sums"; "ks"; "cm"; "skewness"; "kurtosis_excess" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ float_of_int p.Fig8.n_sums; p.Fig8.ks; p.Fig8.cm; p.Fig8.skewness;
+             p.Fig8.kurtosis_excess ])
+         t)
+
+let fig9_csv (t : Fig9.t) =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "schedule,expected_makespan,makespan_std,total_slack\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%.9g,%.9g,%.9g\n" r.Fig9.name r.Fig9.expected_makespan
+           r.Fig9.makespan_std r.Fig9.total_slack))
+    t;
+  Buffer.contents buf
+
+let gnuplot_fig1 ~data =
+  Printf.sprintf
+    {|set datafile separator ','
+set logscale xy
+set xlabel 'graph size (tasks)'
+set ylabel 'KS'
+set y2label 'CM'
+set y2tics
+set logscale y2
+set key left top
+plot '%s' skip 1 using 1:2 with linespoints title 'KS', \
+     '%s' skip 1 using 1:3 axes x1y2 with linespoints title 'CM'
+|}
+    data data
+
+let gnuplot_density ~data ~title =
+  Printf.sprintf
+    {|set datafile separator ','
+set title '%s'
+set xlabel 'value'
+set ylabel 'density'
+plot '%s' skip 1 using 1:2 with lines title columnheader(2), \
+     '%s' skip 1 using 1:3 with lines title columnheader(3)
+|}
+    title data data
+
+let gnuplot_fig8 ~data =
+  Printf.sprintf
+    {|set datafile separator ','
+set logscale y
+set xlabel 'number of variables in the sum'
+set ylabel 'KS'
+set y2label 'CM'
+set y2tics
+set logscale y2
+plot '%s' skip 1 using 1:2 with linespoints title 'KS', \
+     '%s' skip 1 using 1:3 axes x1y2 with linespoints title 'CM'
+|}
+    data data

@@ -1,0 +1,38 @@
+(** CSV (and gnuplot) export of experiment results, so figures can be
+    re-plotted outside the terminal. [`repro --out DIR`] writes these
+    next to the rendered text. *)
+
+val series_csv : headers:string list -> rows:float list list -> string
+(** Generic numeric CSV with a header line. *)
+
+val write_file : dir:string -> name:string -> string -> string
+(** [write_file ~dir ~name content] creates [dir] if needed, writes
+    [dir/name] and returns the path. *)
+
+val fig1_csv : Fig1.t -> string
+val fig2_csv : Fig2.t -> string
+
+val fig_corr_csv : Fig_corr.t -> string
+(** The correlation matrix (CSV), followed by one commented line per
+    heuristic with its raw metric vector. *)
+
+val schedules_csv : Runner.result -> string
+(** The full per-schedule dataset of a run: one row per schedule (random
+    and heuristic), raw metric values in {!Metrics.Robustness.labels}
+    order plus a [source] column — the paper's scatter-matrix input. *)
+
+val fig6_csv : Fig6.t -> string
+(** Mean matrix then std matrix. *)
+
+val fig7_csv : Fig7.t -> string
+val fig8_csv : Fig8.t -> string
+val fig9_csv : Fig9.t -> string
+
+val gnuplot_fig1 : data:string -> string
+(** A gnuplot script plotting the Fig. 1 series from the CSV at [data]
+    (log-log, as in the paper). *)
+
+val gnuplot_density : data:string -> title:string -> string
+(** Script for the two-density figures (Figs. 2 and 7). *)
+
+val gnuplot_fig8 : data:string -> string

@@ -1,0 +1,14 @@
+(** Fig. 7 — the multi-modal “special” distribution next to the normal
+    distribution sharing its mean and standard deviation (step 0 of the
+    CLT-convergence probe of Fig. 8). *)
+
+type t = {
+  mean : float;
+  std : float;
+  xs : float array;
+  special : float array;
+  normal : float array;
+}
+
+val run : ?points:int -> unit -> t
+val render : t -> string

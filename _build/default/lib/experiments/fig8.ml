@@ -1,0 +1,50 @@
+type point = {
+  n_sums : int;
+  ks : float;
+  cm : float;
+  skewness : float;
+  kurtosis_excess : float;
+}
+
+type t = point list
+
+let run ?(max_sums = 30) ?(points = 256) () =
+  if max_sums < 1 then invalid_arg "Fig8.run: max_sums must be >= 1";
+  let open Distribution in
+  let base = Family.special ~points () in
+  let mu = Dist.mean base and sigma = Dist.std base in
+  let acc = ref base in
+  let out = ref [] in
+  for n = 1 to max_sums do
+    if n > 1 then acc := Dist.add ~points !acc base;
+    let reference =
+      Family.normal ~points ~mean:(float_of_int n *. mu)
+        ~std:(sqrt (float_of_int n) *. sigma) ()
+    in
+    let ks = Stats.Distance.ks (Analytic !acc) (Analytic reference) in
+    let cm = Stats.Distance.cm_area (Analytic !acc) (Analytic reference) in
+    out :=
+      {
+        n_sums = n;
+        ks;
+        cm;
+        skewness = Dist.skewness !acc;
+        kurtosis_excess = Dist.kurtosis_excess !acc;
+      }
+      :: !out
+  done;
+  List.rev !out
+
+let render t =
+  Render.table
+    ~title:
+      "Fig. 8 — precision of the normal approximation of the n-fold self-sum\n\
+       (paper shape: distance collapses after ~5 sums, negligible by 10;\n\
+       skewness decays as 1/√n, excess kurtosis as 1/n)"
+    ~headers:[ "n_sums"; "KS"; "CM"; "skew"; "ex-kurtosis" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ string_of_int p.n_sums; Render.cell_sci p.ks; Render.cell_sci p.cm;
+             Render.cell p.skewness; Render.cell p.kurtosis_excess ])
+         t)

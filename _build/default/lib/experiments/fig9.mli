@@ -1,0 +1,34 @@
+(** Fig. 9 — four schedules of a join graph (N + 1 i.i.d. tasks)
+    demonstrating that slack and robustness are orthogonal.
+
+    The four layouts reproduce the quadrants of the paper's sketch:
+    - [wide]: every task on its own processor — {e no slack, robust}
+      (the max of many i.i.d. variables concentrates);
+    - [balanced]: equal chains on a few processors — {e no slack,
+      moderately robust} (CLT over short sums);
+    - [chain]: everything on one processor — {e no slack, non-robust}
+      in absolute dispersion (σ grows like √N);
+    - [slack_mix]: one long chain plus a few singleton tasks with large
+      idle windows — {e much slack, still non-robust} (the chain alone
+      drives the makespan).
+
+    Comparing [wide] (zero slack, tiny σ_M) against [slack_mix] (large
+    slack, large σ_M) is the paper's argument that maximizing slack does
+    not buy robustness. *)
+
+type row = {
+  name : string;
+  description : string;
+  expected_makespan : float;
+  makespan_std : float;
+  total_slack : float;
+}
+
+type t = row list
+
+val run : ?n_tasks:int -> ?ul:float -> unit -> t
+(** [n_tasks] is the paper's N (default 12); the join task is extra. All
+    durations are i.i.d. with minimum 20 and the given [ul]
+    (default 1.1); communications are free, as in the paper's sketch. *)
+
+val render : t -> string

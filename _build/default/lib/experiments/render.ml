@@ -1,0 +1,30 @@
+let cell v = Printf.sprintf "%.4g" v
+let cell_sci v = Printf.sprintf "%.3e" v
+
+let table ~title ~headers ~rows =
+  let all = headers :: rows in
+  let cols = List.length headers in
+  List.iter
+    (fun row ->
+      if List.length row <> cols then invalid_arg "Render.table: ragged row")
+    rows;
+  let width j =
+    List.fold_left (fun acc row -> Int.max acc (String.length (List.nth row j))) 0 all
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  let pad w s = s ^ String.make (w - String.length s) ' ' in
+  let emit row =
+    List.iteri
+      (fun j c ->
+        Buffer.add_string buf (pad (List.nth widths j) c);
+        if j < cols - 1 then Buffer.add_string buf "  ")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit headers;
+  emit (List.map (fun w -> String.make w '-') widths);
+  List.iter emit rows;
+  Buffer.contents buf

@@ -1,0 +1,10 @@
+(** Small text-rendering helpers shared by the figure drivers. *)
+
+val table : title:string -> headers:string list -> rows:string list list -> string
+(** Aligned columns with a title line and a header underline. *)
+
+val cell : float -> string
+(** Default numeric cell: ["%.4g"]. *)
+
+val cell_sci : float -> string
+(** Scientific cell: ["%.3e"]. *)

@@ -1,0 +1,72 @@
+type source =
+  | Random of int
+  | Heuristic of string
+
+type result = {
+  instance : Case.instance;
+  delta : float;
+  gamma : float;
+  sources : source array;
+  rows : float array array;
+}
+
+let heuristics =
+  [ ("HEFT", fun g p -> Sched.Heft.schedule g p); ("BIL", Sched.Bil.schedule);
+    ("Hyb.BMCT", Sched.Bmct.schedule) ]
+
+let run ?domains ?(scale = Scale.of_env ()) ?slack_mode case =
+  let instance = Case.instantiate case in
+  let { Case.graph; platform; model; _ } = instance in
+  let rng = Prng.Xoshiro.create (Int64.add case.Case.seed 0x5EEDL) in
+  let count = Scale.schedules scale case.Case.paper_schedules in
+  let random_scheds =
+    Array.of_list
+      (Sched.Random_sched.generate_many ~rng ~graph ~n_procs:case.Case.n_procs ~count)
+  in
+  let heuristic_scheds =
+    List.map (fun (name, f) -> (name, f graph platform)) heuristics
+  in
+  (* calibrate the probabilistic-metric bounds on a pilot batch so that A
+     and R spread over (0,1) for this case's weight scale *)
+  let pilot_size = Int.min 20 count in
+  let pilot =
+    List.init pilot_size (fun i ->
+        let d = Makespan.Classic.run random_scheds.(i) platform model in
+        (Distribution.Dist.mean d, Distribution.Dist.std d))
+  in
+  let delta, gamma = Metrics.Robustness.calibrate_bounds pilot in
+  let all_scheds =
+    Array.append random_scheds (Array.of_list (List.map snd heuristic_scheds))
+  in
+  let sources =
+    Array.init (Array.length all_scheds) (fun i ->
+        if i < count then Random i
+        else Heuristic (fst (List.nth heuristic_scheds (i - count))))
+  in
+  Elog.info "case %s: evaluating %d schedules (δ=%.3g, γ=%.6g)" case.Case.id
+    (Array.length all_scheds) delta gamma;
+  let rows =
+    Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length all_scheds) (fun i ->
+        Metrics.Robustness.to_array
+          (Metrics.Robustness.of_schedule ~delta ~gamma ?slack_mode all_scheds.(i) platform
+             model))
+  in
+  Elog.info "case %s: done" case.Case.id;
+  { instance; delta; gamma; sources; rows }
+
+let heuristic_rows result =
+  let out = ref [] in
+  Array.iteri
+    (fun i src ->
+      match src with
+      | Heuristic name -> out := (name, result.rows.(i)) :: !out
+      | Random _ -> ())
+    result.sources;
+  List.rev !out
+
+let random_rows result =
+  let out = ref [] in
+  Array.iteri
+    (fun i src -> match src with Random _ -> out := result.rows.(i) :: !out | _ -> ())
+    result.sources;
+  Array.of_list (List.rev !out)

@@ -1,0 +1,32 @@
+(** The per-case sweep of §V–§VI: thousands of random schedules plus the
+    heuristic schedules, each evaluated to its full metric vector. *)
+
+type source =
+  | Random of int  (** i-th random schedule *)
+  | Heuristic of string  (** "HEFT", "BIL", "Hyb.BMCT" *)
+
+type result = {
+  instance : Case.instance;
+  delta : float;  (** calibrated A(δ) bound *)
+  gamma : float;  (** calibrated R(γ) bound *)
+  sources : source array;
+  rows : float array array;  (** raw metric vectors, {!Metrics.Robustness.labels} order *)
+}
+
+val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
+(** The paper's three heuristics, by name. *)
+
+val run :
+  ?domains:int -> ?scale:Scale.t -> ?slack_mode:Sched.Slack.graph_mode -> Case.t -> result
+(** Instantiate the case, generate [paper_schedules / scale] random
+    schedules + the heuristics, auto-calibrate δ and γ on a pilot batch
+    (§V picked constants manually for its weight scale), then evaluate
+    every schedule's metric vector in parallel (classical makespan
+    distribution + mean-weight slack, [`Disjunctive] by default). *)
+
+val heuristic_rows : result -> (string * float array) list
+(** The heuristics' raw metric vectors. *)
+
+val random_rows : result -> float array array
+(** The random schedules' raw metric vectors (correlations are computed
+    on these, as in the paper). *)

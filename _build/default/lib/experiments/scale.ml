@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  schedule_divisor : int;
+  mc_divisor : int;
+  include_n1000 : bool;
+}
+
+let smoke = { name = "smoke"; schedule_divisor = 100; mc_divisor = 100; include_n1000 = false }
+let small = { name = "small"; schedule_divisor = 10; mc_divisor = 10; include_n1000 = false }
+let full = { name = "full"; schedule_divisor = 1; mc_divisor = 1; include_n1000 = true }
+
+let of_env () =
+  match Option.map String.lowercase_ascii (Sys.getenv_opt "REPRO_SCALE") with
+  | Some "smoke" -> smoke
+  | Some "full" | Some "paper" -> full
+  | Some "small" | None | Some _ -> small
+
+let schedules t paper_count = Int.max 30 (paper_count / t.schedule_divisor)
+let realizations t paper_count = Int.max 1000 (paper_count / t.mc_divisor)

@@ -1,0 +1,29 @@
+(** Experiment scaling.
+
+    Paper-scale sweeps (10 000 random schedules per case, 100 000
+    Monte-Carlo realizations) take a while; the harness therefore runs at
+    a configurable fraction of the paper's counts. The [REPRO_SCALE]
+    environment variable selects a preset:
+    - ["smoke"] — ~1% of paper counts (CI-sized),
+    - ["small"] — ~10% (the default; correlations are already stable),
+    - ["full"]/["paper"] — the paper's exact counts. *)
+
+type t = {
+  name : string;
+  schedule_divisor : int;  (** divide per-case random-schedule counts *)
+  mc_divisor : int;  (** divide Monte-Carlo realization counts *)
+  include_n1000 : bool;  (** run Fig. 1's 1000-task point *)
+}
+
+val smoke : t
+val small : t
+val full : t
+
+val of_env : unit -> t
+(** Read [REPRO_SCALE]; unknown or missing values yield {!small}. *)
+
+val schedules : t -> int -> int
+(** Scale a paper schedule count (floor 30). *)
+
+val realizations : t -> int -> int
+(** Scale a paper Monte-Carlo count (floor 1000). *)

@@ -1,0 +1,1 @@
+lib/makespan/bounds.ml: Array Dag Dist Distribution Float List Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/bounds.mli: Distribution Platform Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/classic.ml: Array Dag Distribution List Sched Workloads

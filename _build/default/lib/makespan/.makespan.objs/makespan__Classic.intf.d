@@ -1,0 +1,1 @@
+lib/makespan/classic.mli: Distribution Platform Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/dodin.ml: Array Dag Dist Distribution Sched Workloads

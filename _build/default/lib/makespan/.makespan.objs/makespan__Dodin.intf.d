@@ -1,0 +1,1 @@
+lib/makespan/dodin.mli: Distribution Platform Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/eval.ml: Classic Dodin List Montecarlo Spelde Stats

@@ -1,0 +1,1 @@
+lib/makespan/eval.mli: Distribution Platform Prng Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/montecarlo.ml: Array Dag Distribution Hashtbl Int Parallel Prng Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/montecarlo.mli: Distribution Platform Prng Sched Workloads

@@ -1,0 +1,1 @@
+lib/makespan/spelde.ml: Array Dag Distribution List Normal_pair Sched Workloads

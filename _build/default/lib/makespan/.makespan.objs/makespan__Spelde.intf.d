@@ -1,0 +1,1 @@
+lib/makespan/spelde.mli: Distribution Platform Sched Workloads

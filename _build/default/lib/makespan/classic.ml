@@ -1,0 +1,39 @@
+let completion_dists sched platform model =
+  let points = model.Workloads.Stochastify.points in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let graph = sched.Sched.Schedule.graph in
+  let proc_of = sched.Sched.Schedule.proc_of in
+  let n = Dag.Graph.n_tasks dgraph in
+  let completion = Array.make n (Distribution.Dist.const 0.) in
+  Array.iter
+    (fun v ->
+      let arrivals =
+        Array.to_list (Dag.Graph.preds dgraph v)
+        |> List.map (fun (p, _) ->
+               (* disjunctive edges carry no data: volume lookup must use
+                  the original graph *)
+               match Dag.Graph.volume graph ~src:p ~dst:v with
+               | None -> completion.(p)
+               | Some volume ->
+                 let comm =
+                   Workloads.Stochastify.comm_dist model platform ~volume
+                     ~src:proc_of.(p) ~dst:proc_of.(v)
+                 in
+                 Distribution.Dist.add ~points completion.(p) comm)
+      in
+      let ready =
+        match arrivals with
+        | [] -> Distribution.Dist.const 0.
+        | ds -> Distribution.Dist.max_list ~points ds
+      in
+      let dur = Workloads.Stochastify.task_dist model platform ~task:v ~proc:proc_of.(v) in
+      completion.(v) <- Distribution.Dist.add ~points ready dur)
+    (Dag.Graph.topo_order dgraph);
+  completion
+
+let run sched platform model =
+  let points = model.Workloads.Stochastify.points in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let completion = completion_dists sched platform model in
+  let exits = Dag.Graph.exits dgraph in
+  Distribution.Dist.max_list ~points (Array.to_list (Array.map (fun e -> completion.(e)) exits))

@@ -1,0 +1,17 @@
+(** The “classical” makespan-distribution evaluation (§V): a forward
+    sweep over the disjunctive graph that assumes all intermediate
+    distributions are independent.
+
+    Completion-time recursion over the schedule's disjunctive graph:
+    [ready(t) = max over preds p of (C(p) + comm(p→t))] (CDF product for
+    the max, convolution for the sum), then [C(t) = ready(t) + dur(t)].
+    The makespan is the max over exit completions. This is exactly the
+    method the paper selected after finding it as accurate as Dodin's and
+    Spelde's on its cases (its degradation with graph size is Fig. 1). *)
+
+val completion_dists :
+  Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Dist.t array
+(** Per-task completion-time distributions under independence. *)
+
+val run : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Dist.t
+(** The makespan distribution. *)

@@ -1,0 +1,32 @@
+type outcome = {
+  dist : Distribution.Dist.t;
+  duplications : int;
+}
+
+let evaluate sched platform model =
+  let open Distribution in
+  let points = model.Workloads.Stochastify.points in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let graph = sched.Sched.Schedule.graph in
+  let proc_of = sched.Sched.Schedule.proc_of in
+  let task v =
+    Workloads.Stochastify.task_dist model platform ~task:v ~proc:proc_of.(v)
+  in
+  let edge u v =
+    match Dag.Graph.volume graph ~src:u ~dst:v with
+    | None -> Dist.const 0.
+    | Some volume ->
+      Workloads.Stochastify.comm_dist model platform ~volume ~src:proc_of.(u)
+        ~dst:proc_of.(v)
+  in
+  let network = Dag.Series_parallel.of_task_dag dgraph ~task ~edge ~zero:(Dist.const 0.) in
+  let algebra =
+    {
+      Dag.Series_parallel.series = (fun a b -> Dist.add ~points a b);
+      parallel = (fun a b -> Dist.max_indep ~points a b);
+    }
+  in
+  let result = Dag.Series_parallel.reduce algebra network in
+  { dist = result.Dag.Series_parallel.weight; duplications = result.Dag.Series_parallel.duplications }
+
+let run sched platform model = (evaluate sched platform model).dist

@@ -1,0 +1,18 @@
+(** Dodin's series–parallel makespan evaluation (Dodin 1985).
+
+    The schedule's disjunctive graph is converted to an activity-on-arc
+    network and reduced with series (convolution) and parallel (CDF
+    product) steps; where the network is not series–parallel, nodes are
+    duplicated (see {!Dag.Series_parallel}), which is Dodin's
+    approximation. On a series–parallel disjunctive graph the result
+    equals the classical method's. *)
+
+type outcome = {
+  dist : Distribution.Dist.t;
+  duplications : int;  (** 0 iff the disjunctive graph was SP *)
+}
+
+val evaluate : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> outcome
+
+val run : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Dist.t
+(** [(evaluate ...).dist]. *)

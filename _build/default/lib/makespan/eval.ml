@@ -1,0 +1,27 @@
+type method_ =
+  | Classical
+  | Dodin
+  | Spelde
+
+let all_methods = [ Classical; Dodin; Spelde ]
+
+let method_name = function
+  | Classical -> "classical"
+  | Dodin -> "dodin"
+  | Spelde -> "spelde"
+
+let distribution ?(method_ = Classical) sched platform model =
+  match method_ with
+  | Classical -> Classic.run sched platform model
+  | Dodin -> Dodin.run sched platform model
+  | Spelde -> Spelde.run sched platform model
+
+let compare_methods ~rng ~mc_count sched platform model =
+  let emp = Montecarlo.run ~rng ~count:mc_count sched platform model in
+  List.map
+    (fun m ->
+      let d = distribution ~method_:m sched platform model in
+      let ks = Stats.Distance.ks (Analytic d) (Sampled emp) in
+      let cm = Stats.Distance.cm_area (Analytic d) (Sampled emp) in
+      (method_name m, ks, cm))
+    all_methods

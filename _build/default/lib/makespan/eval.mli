@@ -1,0 +1,27 @@
+(** Umbrella over the makespan-distribution evaluation methods. *)
+
+type method_ =
+  | Classical  (** independence-assumption forward sweep — the paper's choice *)
+  | Dodin  (** series–parallel reduction with node duplication *)
+  | Spelde  (** (mean, σ) moments + Clark maxima, normal result *)
+
+val all_methods : method_ list
+val method_name : method_ -> string
+
+val distribution :
+  ?method_:method_ ->
+  Sched.Schedule.t ->
+  Platform.t ->
+  Workloads.Stochastify.t ->
+  Distribution.Dist.t
+(** Makespan distribution by the chosen method (default {!Classical}). *)
+
+val compare_methods :
+  rng:Prng.Xoshiro.t ->
+  mc_count:int ->
+  Sched.Schedule.t ->
+  Platform.t ->
+  Workloads.Stochastify.t ->
+  (string * float * float) list
+(** For each analytic method, the (name, KS, CM) distances against a
+    fresh [mc_count]-realization Monte-Carlo run — the §V validation. *)

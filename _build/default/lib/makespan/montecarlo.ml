@@ -1,0 +1,94 @@
+let realizations ?domains ?(chunk_size = 256) ?(antithetic = false) ~rng ~count sched
+    platform model =
+  if count <= 0 then invalid_arg "Montecarlo: count must be positive";
+  if chunk_size <= 0 then invalid_arg "Montecarlo: chunk_size must be positive";
+  let count = if antithetic && count mod 2 = 1 then count + 1 else count in
+  let chunk_size = if antithetic && chunk_size mod 2 = 1 then chunk_size + 1 else chunk_size in
+  let plan = Sched.Simulator.prepare sched in
+  let graph = sched.Sched.Schedule.graph in
+  let proc_of = sched.Sched.Schedule.proc_of in
+  let n = Dag.Graph.n_tasks graph in
+  (* Pre-resolve edges once; sampling and lookup then avoid the graph. *)
+  let edges = Dag.Graph.edges graph in
+  let n_edges = Array.length edges in
+  let edge_index = Hashtbl.create n_edges in
+  Array.iteri (fun i (u, v, _) -> Hashtbl.add edge_index (u, v) i) edges;
+  let chunks = (count + chunk_size - 1) / chunk_size in
+  (* one deterministic stream per chunk, independent of the domain count *)
+  let streams = Array.init chunks (fun _ -> Prng.Xoshiro.split rng) in
+  let out = Array.make count 0. in
+  Parallel.Pool.run ?domains ~chunks (fun c ->
+      let chunk_rng = streams.(c) in
+      let lo = c * chunk_size in
+      let hi = Int.min count (lo + chunk_size) in
+      (* per-realization duration tables, reused across the chunk *)
+      let task_dur = Array.make n 0. in
+      let comm_dur = Array.make n_edges 0. in
+      let task_dur_fn v = task_dur.(v) in
+      let comm_dur_fn u v =
+        match Hashtbl.find_opt edge_index (u, v) with
+        | Some i -> comm_dur.(i)
+        | None -> invalid_arg "Montecarlo: comm on non-edge"
+      in
+      if antithetic then begin
+        (* negatively correlated pairs through the quantile map *)
+        let task_u = Array.make n 0. in
+        let comm_u = Array.make n_edges 0. in
+        let fill_from_u flip =
+          let q u = if flip then 1. -. u else u in
+          for v = 0 to n - 1 do
+            task_dur.(v) <-
+              Workloads.Stochastify.task_sample_quantile model ~u:(q task_u.(v)) platform
+                ~task:v ~proc:proc_of.(v)
+          done;
+          for i = 0 to n_edges - 1 do
+            let u_, v_, volume = edges.(i) in
+            comm_dur.(i) <-
+              Workloads.Stochastify.comm_sample_quantile model ~u:(q comm_u.(i)) platform
+                ~volume ~src:proc_of.(u_) ~dst:proc_of.(v_)
+          done
+        in
+        let r = ref lo in
+        while !r < hi do
+          for v = 0 to n - 1 do
+            task_u.(v) <- Prng.Xoshiro.next_float chunk_rng
+          done;
+          for i = 0 to n_edges - 1 do
+            comm_u.(i) <- Prng.Xoshiro.next_float chunk_rng
+          done;
+          fill_from_u false;
+          out.(!r) <-
+            (Sched.Simulator.run plan ~task_dur:task_dur_fn ~comm_dur:comm_dur_fn)
+              .Sched.Simulator.makespan;
+          if !r + 1 < hi then begin
+            fill_from_u true;
+            out.(!r + 1) <-
+              (Sched.Simulator.run plan ~task_dur:task_dur_fn ~comm_dur:comm_dur_fn)
+                .Sched.Simulator.makespan
+          end;
+          r := !r + 2
+        done
+      end
+      else
+        for r = lo to hi - 1 do
+          for v = 0 to n - 1 do
+            task_dur.(v) <-
+              Workloads.Stochastify.task_sample model chunk_rng platform ~task:v
+                ~proc:proc_of.(v)
+          done;
+          for i = 0 to n_edges - 1 do
+            let u, v, volume = edges.(i) in
+            comm_dur.(i) <-
+              Workloads.Stochastify.comm_sample model chunk_rng platform ~volume
+                ~src:proc_of.(u) ~dst:proc_of.(v)
+          done;
+          let times =
+            Sched.Simulator.run plan ~task_dur:task_dur_fn ~comm_dur:comm_dur_fn
+          in
+          out.(r) <- times.Sched.Simulator.makespan
+        done);
+  out
+
+let run ?domains ?chunk_size ?antithetic ~rng ~count sched platform model =
+  Distribution.Empirical.of_samples
+    (realizations ?domains ?chunk_size ?antithetic ~rng ~count sched platform model)

@@ -1,0 +1,39 @@
+let moments sched platform model =
+  let open Distribution in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let graph = sched.Sched.Schedule.graph in
+  let proc_of = sched.Sched.Schedule.proc_of in
+  let n = Dag.Graph.n_tasks dgraph in
+  let completion = Array.make n (Normal_pair.const 0.) in
+  Array.iter
+    (fun v ->
+      let arrivals =
+        Array.to_list (Dag.Graph.preds dgraph v)
+        |> List.map (fun (p, _) ->
+               match Dag.Graph.volume graph ~src:p ~dst:v with
+               | None -> completion.(p)
+               | Some volume ->
+                 let src = proc_of.(p) and dst = proc_of.(v) in
+                 let comm =
+                   Normal_pair.make
+                     ~mean:(Workloads.Stochastify.comm_mean model platform ~volume ~src ~dst)
+                     ~std:(Workloads.Stochastify.comm_std model platform ~volume ~src ~dst)
+                 in
+                 Normal_pair.add completion.(p) comm)
+      in
+      let ready =
+        match arrivals with [] -> Normal_pair.const 0. | ds -> Normal_pair.max_list ds
+      in
+      let dur =
+        Normal_pair.make
+          ~mean:(Workloads.Stochastify.task_mean model platform ~task:v ~proc:proc_of.(v))
+          ~std:(Workloads.Stochastify.task_std model platform ~task:v ~proc:proc_of.(v))
+      in
+      completion.(v) <- Normal_pair.add ready dur)
+    (Dag.Graph.topo_order dgraph);
+  let exits = Dag.Graph.exits dgraph in
+  Normal_pair.max_list (Array.to_list (Array.map (fun e -> completion.(e)) exits))
+
+let run sched platform model =
+  Distribution.Normal_pair.to_normal ~points:model.Workloads.Stochastify.points
+    (moments sched platform model)

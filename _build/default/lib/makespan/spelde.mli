@@ -1,0 +1,11 @@
+(** Spelde's CLT-based makespan evaluation (per Ludwig, Möhring & Stork
+    2001): every duration is reduced to (mean, standard deviation); sums
+    add moments, maxima use Clark's formulas — no convolution at all.
+    The result is a normal approximation of the makespan distribution. *)
+
+val moments : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Normal_pair.t
+(** Mean and standard deviation of the makespan estimate. *)
+
+val run : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Dist.t
+(** The matching normal as a grid distribution (for metric extraction and
+    CDF comparisons). *)

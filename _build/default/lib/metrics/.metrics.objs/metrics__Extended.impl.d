@@ -1,0 +1,1 @@
+lib/metrics/extended.ml: Array Dist Distribution

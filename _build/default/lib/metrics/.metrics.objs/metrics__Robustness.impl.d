@@ -1,0 +1,1 @@
+lib/metrics/robustness.ml: Array Dist Distribution Float List Makespan Sched

@@ -1,0 +1,1 @@
+lib/metrics/robustness.mli: Distribution Platform Sched Workloads

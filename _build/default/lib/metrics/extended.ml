@@ -1,0 +1,24 @@
+type t = {
+  var_95 : float;
+  var_99 : float;
+  cvar_95 : float;
+  iqr : float;
+  excess_95 : float;
+}
+
+let labels = [| "var95"; "var99"; "cvar95"; "iqr"; "excess95" |]
+let n_metrics = Array.length labels
+
+let compute d =
+  let open Distribution in
+  let q p = Dist.quantile d p in
+  let q95 = q 0.95 in
+  {
+    var_95 = q95;
+    var_99 = q 0.99;
+    cvar_95 = Dist.mean_above d q95;
+    iqr = q 0.75 -. q 0.25;
+    excess_95 = q95 -. Dist.mean d;
+  }
+
+let to_array m = [| m.var_95; m.var_99; m.cvar_95; m.iqr; m.excess_95 |]

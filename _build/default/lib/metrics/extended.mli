@@ -1,0 +1,23 @@
+(** Extension metrics beyond the paper's eight — tail-risk functionals
+    common in later robustness literature, provided to let users test
+    whether they too join the paper's dispersion cluster (they do; see
+    the [extended] test suite and EXPERIMENTS.md).
+
+    All are oriented like the makespan: smaller is better. *)
+
+type t = {
+  var_95 : float;  (** 95th-percentile makespan (value-at-risk) *)
+  var_99 : float;  (** 99th-percentile makespan *)
+  cvar_95 : float;  (** E\[M | M > q₀.₉₅\] — conditional value-at-risk *)
+  iqr : float;  (** inter-quartile range q₀.₇₅ − q₀.₂₅ *)
+  excess_95 : float;  (** q₀.₉₅ − E(M): tail headroom above the mean *)
+}
+
+val labels : string array
+val n_metrics : int
+
+val compute : Distribution.Dist.t -> t
+(** From a makespan distribution. For a point mass all dispersion entries
+    are 0 and the quantile entries equal the value. *)
+
+val to_array : t -> float array

@@ -1,0 +1,32 @@
+(** Small helpers over [float array] shared by the numerics modules. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace a b n] is [n >= 2] evenly spaced points from [a] to [b]
+    inclusive. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val dot : float array -> float array -> float
+(** Dot product; arrays must have equal length. *)
+
+val max_elt : float array -> float
+(** Maximum of a non-empty array. *)
+
+val min_elt : float array -> float
+(** Minimum of a non-empty array. *)
+
+val argmax : float array -> int
+(** Index of the first maximum of a non-empty array. *)
+
+val scale : float -> float array -> float array
+(** [scale c a] is a fresh array with every element multiplied by [c]. *)
+
+val map2 : (float -> float -> float) -> float array -> float array -> float array
+(** Pointwise combination; arrays must have equal length. *)
+
+val next_pow2 : int -> int
+(** [next_pow2 n] is the smallest power of two [>= max 1 n]. *)
+
+val approx_equal : ?eps:float -> float -> float -> bool
+(** Mixed absolute/relative comparison with default [eps = 1e-9]. *)

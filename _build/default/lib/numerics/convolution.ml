@@ -1,0 +1,64 @@
+let direct a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.direct: empty input";
+  let out = Array.make (n + m - 1) 0. in
+  for i = 0 to n - 1 do
+    let ai = a.(i) in
+    if ai <> 0. then
+      for j = 0 to m - 1 do
+        out.(i + j) <- out.(i + j) +. (ai *. b.(j))
+      done
+  done;
+  out
+
+let fft a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.fft: empty input";
+  let size = Array_ops.next_pow2 (n + m - 1) in
+  let are = Array.make size 0. and aim = Array.make size 0. in
+  let bre = Array.make size 0. and bim = Array.make size 0. in
+  Array.blit a 0 are 0 n;
+  Array.blit b 0 bre 0 m;
+  Fft.forward are aim;
+  Fft.forward bre bim;
+  for i = 0 to size - 1 do
+    let r = (are.(i) *. bre.(i)) -. (aim.(i) *. bim.(i)) in
+    let j = (are.(i) *. bim.(i)) +. (aim.(i) *. bre.(i)) in
+    are.(i) <- r;
+    aim.(i) <- j
+  done;
+  Fft.inverse are aim;
+  Array.sub are 0 (n + m - 1)
+
+let overlap_add ?block a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.overlap_add: empty input";
+  (* Convolve kernel [b] with consecutive blocks of [a]; partial results
+     overlap by m-1 samples and add. *)
+  let block =
+    match block with
+    | Some s ->
+      if s <= 0 then invalid_arg "Convolution.overlap_add: block must be positive";
+      s
+    | None -> Int.max m 64
+  in
+  let out = Array.make (n + m - 1) 0. in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = Int.min block (n - !pos) in
+    let chunk = Array.sub a !pos len in
+    let piece = fft chunk b in
+    for i = 0 to Array.length piece - 1 do
+      out.(!pos + i) <- out.(!pos + i) +. piece.(i)
+    done;
+    pos := !pos + len
+  done;
+  out
+
+let auto a b =
+  let n = Array.length a and m = Array.length b in
+  let small = Int.min n m and large = Int.max n m in
+  if small * large <= 4096 then direct a b
+  else if large > 8 * small then
+    if n >= m then overlap_add a b else overlap_add b a
+  else fft a b

@@ -1,0 +1,22 @@
+(** Linear convolution of sampled signals.
+
+    The distribution algebra computes sums of independent random variables
+    by convolving their sampled densities, exactly as the paper's C/GSL
+    implementation did. Three strategies are provided: a direct O(n·m)
+    form (oracle and small-input fast path), an FFT form, and the
+    overlap–add block method the paper names for long signals. *)
+
+val direct : float array -> float array -> float array
+(** [direct a b] is the full linear convolution, length
+    [length a + length b − 1]. O(n·m). *)
+
+val fft : float array -> float array -> float array
+(** Same result via zero-padded FFT. O((n+m) log (n+m)). *)
+
+val overlap_add : ?block:int -> float array -> float array -> float array
+(** [overlap_add ?block a b] convolves [a] (the long signal) with [b] (the
+    kernel) by FFT on blocks of [a] of size [block] (default chosen from
+    the kernel length). Equal to {!direct} up to rounding. *)
+
+val auto : float array -> float array -> float array
+(** Picks a strategy from the input sizes. *)

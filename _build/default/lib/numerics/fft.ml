@@ -1,0 +1,85 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let check re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft: re/im length mismatch";
+  if not (is_pow2 n) then invalid_arg "Fft: length must be a power of two";
+  n
+
+(* Cooley–Tukey, decimation in time, iterative with bit-reversal
+   permutation. [sign] is -1 for the forward transform, +1 for inverse. *)
+let transform sign re im =
+  let n = check re im in
+  if n > 1 then begin
+    (* bit-reversal permutation *)
+    let j = ref 0 in
+    for i = 0 to n - 2 do
+      if i < !j then begin
+        let tr = re.(i) in
+        re.(i) <- re.(!j);
+        re.(!j) <- tr;
+        let ti = im.(i) in
+        im.(i) <- im.(!j);
+        im.(!j) <- ti
+      end;
+      let m = ref (n lsr 1) in
+      while !m >= 1 && !j land !m <> 0 do
+        j := !j lxor !m;
+        m := !m lsr 1
+      done;
+      j := !j lor !m
+    done;
+    (* butterflies *)
+    let len = ref 2 in
+    while !len <= n do
+      let half = !len / 2 in
+      let theta = float_of_int sign *. 2. *. Float.pi /. float_of_int !len in
+      let wr = cos theta and wi = sin theta in
+      let i = ref 0 in
+      while !i < n do
+        let cr = ref 1. and ci = ref 0. in
+        for k = !i to !i + half - 1 do
+          let k2 = k + half in
+          let tr = (!cr *. re.(k2)) -. (!ci *. im.(k2)) in
+          let ti = (!cr *. im.(k2)) +. (!ci *. re.(k2)) in
+          re.(k2) <- re.(k) -. tr;
+          im.(k2) <- im.(k) -. ti;
+          re.(k) <- re.(k) +. tr;
+          im.(k) <- im.(k) +. ti;
+          let ncr = (!cr *. wr) -. (!ci *. wi) in
+          ci := (!cr *. wi) +. (!ci *. wr);
+          cr := ncr
+        done;
+        i := !i + !len
+      done;
+      len := !len * 2
+    done
+  end
+
+let forward re im = transform (-1) re im
+
+let inverse re im =
+  transform 1 re im;
+  let n = Array.length re in
+  let inv = 1. /. float_of_int n in
+  for i = 0 to n - 1 do
+    re.(i) <- re.(i) *. inv;
+    im.(i) <- im.(i) *. inv
+  done
+
+let naive_dft re im =
+  let n = Array.length re in
+  if Array.length im <> n then invalid_arg "Fft.naive_dft: length mismatch";
+  let out_re = Array.make n 0. and out_im = Array.make n 0. in
+  for k = 0 to n - 1 do
+    let sr = ref 0. and si = ref 0. in
+    for t = 0 to n - 1 do
+      let angle = -2. *. Float.pi *. float_of_int k *. float_of_int t /. float_of_int n in
+      let c = cos angle and s = sin angle in
+      sr := !sr +. (re.(t) *. c) -. (im.(t) *. s);
+      si := !si +. (re.(t) *. s) +. (im.(t) *. c)
+    done;
+    out_re.(k) <- !sr;
+    out_im.(k) <- !si
+  done;
+  (out_re, out_im)

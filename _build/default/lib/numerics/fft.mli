@@ -1,0 +1,17 @@
+(** Iterative radix-2 complex FFT.
+
+    This replaces the GSL FFT the paper's C implementation relied on. Data
+    is carried as separate real/imaginary [float array]s to avoid boxing. *)
+
+val forward : float array -> float array -> unit
+(** [forward re im] transforms in place. Length must be a power of two and
+    the two arrays must have equal length. *)
+
+val inverse : float array -> float array -> unit
+(** [inverse re im] is the unscaled-input inverse transform, in place,
+    including the [1/n] normalization, so [inverse (forward x) = x] up to
+    rounding. *)
+
+val naive_dft : float array -> float array -> float array * float array
+(** [naive_dft re im] is the O(n²) discrete Fourier transform, returned as
+    fresh arrays. Used as a test oracle; any length accepted. *)

@@ -1,0 +1,20 @@
+(** Numerical quadrature over uniformly sampled data and functions.
+
+    Simpson's rule is the paper's stated integrator; the composite form
+    here handles both odd and even sample counts (the final interval of an
+    even-count grid falls back to a trapezoid). *)
+
+val trapezoid_sampled : dx:float -> float array -> float
+(** Composite trapezoid rule over uniform samples. Needs >= 2 samples. *)
+
+val simpson_sampled : dx:float -> float array -> float
+(** Composite Simpson rule over uniform samples. Needs >= 2 samples. *)
+
+val simpson : f:(float -> float) -> a:float -> b:float -> n:int -> float
+(** [simpson ~f ~a ~b ~n] integrates [f] on [\[a,b\]] using [n] (rounded up
+    to even) subintervals. *)
+
+val cumulative : dx:float -> float array -> float array
+(** [cumulative ~dx ys] is the running trapezoid integral: element [i]
+    holds the integral of the sampled function from the first sample to
+    sample [i] (element 0 is 0). Used to turn a PDF grid into a CDF. *)

@@ -1,0 +1,195 @@
+(* erfc rational approximation (Numerical Recipes §6.2, fractional error
+   < 1.2e-7), symmetrized. *)
+let erfc x =
+  let z = Float.abs x in
+  let t = 1. /. (1. +. (0.5 *. z)) in
+  let poly =
+    -.z *. z -. 1.26551223
+    +. (t
+        *. (1.00002368
+           +. (t
+               *. (0.37409196
+                  +. (t
+                      *. (0.09678418
+                         +. (t
+                             *. (-0.18628806
+                                +. (t
+                                    *. (0.27886807
+                                       +. (t
+                                           *. (-1.13520398
+                                              +. (t
+                                                  *. (1.48851587
+                                                     +. (t
+                                                         *. (-0.82215223
+                                                            +. (t *. 0.17087277)))))))))))))))))
+  in
+  let ans = t *. exp poly in
+  if x >= 0. then ans else 2. -. ans
+
+let erf x = 1. -. erfc x
+
+let sqrt_2pi = sqrt (2. *. Float.pi)
+
+let normal_pdf x = exp (-0.5 *. x *. x) /. sqrt_2pi
+
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt 2.)
+
+(* Acklam's inverse-normal approximation + one Halley refinement step,
+   giving ~1e-15 relative accuracy away from the extreme tails. *)
+let normal_quantile p =
+  if p <= 0. || p >= 1. then invalid_arg "Special.normal_quantile: p must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let x =
+    if p < p_low then begin
+      let q = sqrt (-2. *. log p) in
+      (((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5)
+      |> fun num ->
+      num /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+    end
+    else if p <= 1. -. p_low then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+      *. q
+      /. ((((((b.(0) *. r) +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.)
+    end
+    else begin
+      let q = sqrt (-2. *. log (1. -. p)) in
+      -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+      /. (((((d.(0) *. q) +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+    end
+  in
+  (* Halley refinement on Φ(x) = p *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt_2pi *. exp (x *. x /. 2.) in
+  x -. (u /. (1. +. (x *. u /. 2.)))
+
+(* Lanczos approximation, g = 7, n = 9 coefficients. *)
+let lanczos =
+  [| 0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+     771.32342877765313; -176.61502916214059; 12.507343278686905;
+     -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7 |]
+
+let rec log_gamma x =
+  if x <= 0. then invalid_arg "Special.log_gamma: requires x > 0";
+  if x < 0.5 then
+    (* reflection: Γ(x)Γ(1−x) = π / sin(πx) *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1. -. x)
+  else begin
+    let x = x -. 1. in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    let t = x +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((x +. 0.5) *. log t) -. t +. log !acc
+  end
+
+let log_beta a b = log_gamma a +. log_gamma b -. log_gamma (a +. b)
+
+let beta_pdf ~alpha ~beta x =
+  if alpha <= 0. || beta <= 0. then invalid_arg "Special.beta_pdf: bad parameters";
+  if x < 0. || x > 1. then 0.
+  else if (x = 0. && alpha < 1.) || (x = 1. && beta < 1.) then infinity
+  else if x = 0. then (if alpha = 1. then exp (-.log_beta alpha beta) else 0.)
+  else if x = 1. then (if beta = 1. then exp (-.log_beta alpha beta) else 0.)
+  else
+    exp (((alpha -. 1.) *. log x) +. ((beta -. 1.) *. log (1. -. x)) -. log_beta alpha beta)
+
+(* Continued fraction for the incomplete beta (Numerical Recipes §6.4,
+   modified Lentz). *)
+let betacf ~alpha ~beta x =
+  let max_iter = 200 and eps = 3e-15 and fpmin = 1e-300 in
+  let qab = alpha +. beta and qap = alpha +. 1. and qam = alpha -. 1. in
+  let c = ref 1. in
+  let d = ref (1. -. (qab *. x /. qap)) in
+  if Float.abs !d < fpmin then d := fpmin;
+  d := 1. /. !d;
+  let h = ref !d in
+  (try
+     for m = 1 to max_iter do
+       let fm = float_of_int m in
+       let m2 = 2. *. fm in
+       (* even step *)
+       let aa = fm *. (beta -. fm) *. x /. ((qam +. m2) *. (alpha +. m2)) in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       h := !h *. !d *. !c;
+       (* odd step *)
+       let aa =
+         -.(alpha +. fm) *. (qab +. fm) *. x /. ((alpha +. m2) *. (qap +. m2))
+       in
+       d := 1. +. (aa *. !d);
+       if Float.abs !d < fpmin then d := fpmin;
+       c := 1. +. (aa /. !c);
+       if Float.abs !c < fpmin then c := fpmin;
+       d := 1. /. !d;
+       let del = !d *. !c in
+       h := !h *. del;
+       if Float.abs (del -. 1.) < eps then raise Exit
+     done
+   with Exit -> ());
+  !h
+
+let betainc ~alpha ~beta x =
+  if alpha <= 0. || beta <= 0. then invalid_arg "Special.betainc: bad parameters";
+  let x = Float.max 0. (Float.min 1. x) in
+  if x = 0. then 0.
+  else if x = 1. then 1.
+  else begin
+    let front =
+      exp
+        ((alpha *. log x) +. (beta *. log (1. -. x)) -. log_beta alpha beta)
+    in
+    (* symmetry choice for fast continued-fraction convergence *)
+    if x < (alpha +. 1.) /. (alpha +. beta +. 2.) then
+      front *. betacf ~alpha ~beta x /. alpha
+    else 1. -. (front *. betacf ~alpha:beta ~beta:alpha (1. -. x) /. beta)
+  end
+
+let betainc_inv ~alpha ~beta p =
+  if alpha <= 0. || beta <= 0. then invalid_arg "Special.betainc_inv: bad parameters";
+  if p < 0. || p > 1. then invalid_arg "Special.betainc_inv: p must be in [0,1]";
+  if p = 0. then 0.
+  else if p = 1. then 1.
+  else begin
+    (* bisection with Newton acceleration; the CDF is strictly monotone *)
+    let lo = ref 0. and hi = ref 1. in
+    let x = ref (alpha /. (alpha +. beta)) in
+    for _ = 1 to 100 do
+      let f = betainc ~alpha ~beta !x -. p in
+      if f > 0. then hi := !x else lo := !x;
+      let pdf = beta_pdf ~alpha ~beta !x in
+      let newton = if pdf > 0. then !x -. (f /. pdf) else -1. in
+      x := if newton > !lo && newton < !hi then newton else (!lo +. !hi) /. 2.
+    done;
+    !x
+  end
+
+let gamma_pdf ~shape ~scale x =
+  if shape <= 0. || scale <= 0. then invalid_arg "Special.gamma_pdf: bad parameters";
+  if x < 0. then 0.
+  else if x = 0. then begin
+    if shape < 1. then infinity else if shape = 1. then 1. /. scale else 0.
+  end
+  else
+    exp (((shape -. 1.) *. log x) -. (x /. scale) -. log_gamma shape -. (shape *. log scale))

@@ -1,0 +1,62 @@
+type t = {
+  xs : float array;
+  ys : float array;
+  y2 : float array; (* second derivatives at the knots *)
+}
+
+let fit ~xs ~ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Spline.fit: xs/ys length mismatch";
+  if n < 2 then invalid_arg "Spline.fit: need at least 2 knots";
+  for i = 1 to n - 1 do
+    if xs.(i) <= xs.(i - 1) then
+      invalid_arg "Spline.fit: knots must be strictly increasing"
+  done;
+  (* Tridiagonal solve for the natural spline second derivatives
+     (Numerical Recipes §3.3). *)
+  let y2 = Array.make n 0. in
+  let u = Array.make n 0. in
+  for i = 1 to n - 2 do
+    let sig_ = (xs.(i) -. xs.(i - 1)) /. (xs.(i + 1) -. xs.(i - 1)) in
+    let p = (sig_ *. y2.(i - 1)) +. 2. in
+    y2.(i) <- (sig_ -. 1.) /. p;
+    let slope_hi = (ys.(i + 1) -. ys.(i)) /. (xs.(i + 1) -. xs.(i)) in
+    let slope_lo = (ys.(i) -. ys.(i - 1)) /. (xs.(i) -. xs.(i - 1)) in
+    u.(i) <-
+      (((6. *. (slope_hi -. slope_lo)) /. (xs.(i + 1) -. xs.(i - 1))) -. (sig_ *. u.(i - 1)))
+      /. p
+  done;
+  for i = n - 2 downto 1 do
+    y2.(i) <- (y2.(i) *. y2.(i + 1)) +. u.(i)
+  done;
+  { xs; ys; y2 }
+
+let segment t x =
+  (* binary search for the knot interval containing x *)
+  let n = Array.length t.xs in
+  let lo = ref 0 and hi = ref (n - 1) in
+  while !hi - !lo > 1 do
+    let mid = (!lo + !hi) / 2 in
+    if t.xs.(mid) > x then hi := mid else lo := mid
+  done;
+  !lo
+
+let eval t x =
+  let i = segment t x in
+  let h = t.xs.(i + 1) -. t.xs.(i) in
+  let a = (t.xs.(i + 1) -. x) /. h in
+  let b = (x -. t.xs.(i)) /. h in
+  (a *. t.ys.(i))
+  +. (b *. t.ys.(i + 1))
+  +. ((((a *. a *. a) -. a) *. t.y2.(i)) +. (((b *. b *. b) -. b) *. t.y2.(i + 1)))
+     *. h *. h /. 6.
+
+let eval_clamped t x =
+  let n = Array.length t.xs in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else eval t x
+
+let resample ~xs ~ys ~onto =
+  let s = fit ~xs ~ys in
+  Array.map (eval_clamped s) onto

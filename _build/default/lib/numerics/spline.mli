@@ -1,0 +1,27 @@
+(** Natural cubic spline interpolation.
+
+    The paper samples every probability density with 64 points and
+    reconstructs intermediate values by cubic splines; this module provides
+    that reconstruction, plus a resampling helper used whenever a
+    distribution changes support after a sum or maximum. *)
+
+type t
+(** A fitted spline over strictly increasing knots. *)
+
+val fit : xs:float array -> ys:float array -> t
+(** [fit ~xs ~ys] builds a natural cubic spline ([y'' = 0] at both ends)
+    through the points [(xs.(i), ys.(i))]. [xs] must be strictly
+    increasing and contain at least two points. *)
+
+val eval : t -> float -> float
+(** [eval s x] evaluates the spline. Outside the knot range the boundary
+    cubic is extrapolated. *)
+
+val eval_clamped : t -> float -> float
+(** Like {!eval} but returns the boundary ordinate outside the knot range —
+    the right choice for densities, which must not oscillate when
+    extrapolated. *)
+
+val resample : xs:float array -> ys:float array -> onto:float array -> float array
+(** [resample ~xs ~ys ~onto] fits a spline to [(xs, ys)] and evaluates it
+    (clamped) at every point of [onto]. *)

@@ -1,0 +1,1 @@
+lib/parallel/par_array.ml: Array Int Pool

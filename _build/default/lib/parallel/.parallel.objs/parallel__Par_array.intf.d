@@ -1,0 +1,1 @@
+lib/parallel/par_array.mli:

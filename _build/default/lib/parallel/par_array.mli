@@ -1,0 +1,9 @@
+(** Parallel array construction on top of {!Pool}. *)
+
+val init : ?domains:int -> ?chunk_size:int -> int -> (int -> 'a) -> 'a array
+(** [init n f] is [Array.init n f] with the index range cut into chunks
+    (default size 64) executed across domains. [f] must be safe to run
+    concurrently for distinct indices. *)
+
+val map : ?domains:int -> ?chunk_size:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map]. *)

@@ -1,0 +1,26 @@
+let default_domains () = Int.max 1 (Domain.recommended_domain_count () - 1)
+
+let run ?domains ~chunks f =
+  if chunks < 0 then invalid_arg "Pool.run: negative chunk count";
+  let domains = match domains with Some d -> Int.max 1 d | None -> default_domains () in
+  let next = Atomic.make 0 in
+  let failure = Atomic.make None in
+  let worker () =
+    let rec loop () =
+      let c = Atomic.fetch_and_add next 1 in
+      if c < chunks then begin
+        (try f c
+         with exn ->
+           (* record the first failure; later chunks still drain so that
+              all domains terminate promptly *)
+           ignore (Atomic.compare_and_set failure None (Some exn)));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let helpers = Int.min (domains - 1) (Int.max 0 (chunks - 1)) in
+  let spawned = List.init helpers (fun _ -> Domain.spawn worker) in
+  worker ();
+  List.iter Domain.join spawned;
+  match Atomic.get failure with Some exn -> raise exn | None -> ()

@@ -1,0 +1,17 @@
+(** Minimal domain-based fan-out for embarrassingly parallel sweeps.
+
+    Work is cut into a {e fixed} number of chunks claimed through an
+    atomic counter, so results depend only on the chunk decomposition —
+    never on how many domains happened to run. This is what keeps the
+    experiment pipeline bit-reproducible whatever the machine size. *)
+
+val default_domains : unit -> int
+(** [max 1 (recommended_domain_count − 1)] — leave one core for the
+    orchestrating domain. *)
+
+val run : ?domains:int -> chunks:int -> (int -> unit) -> unit
+(** [run ~chunks f] calls [f c] exactly once for every
+    [c ∈ \[0, chunks)], distributing chunks over [domains] worker domains
+    (the calling domain participates). [f] must only write to
+    chunk-private state. The first exception raised by any chunk is
+    re-raised after all domains have joined. *)

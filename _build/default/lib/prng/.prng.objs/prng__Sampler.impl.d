@@ -1,0 +1,1 @@
+lib/prng/sampler.ml: Array Xoshiro

@@ -1,0 +1,1 @@
+lib/prng/sampler.mli: Xoshiro

@@ -1,0 +1,1 @@
+lib/sched/bil.ml: Array Dag Float Int List Platform Schedule

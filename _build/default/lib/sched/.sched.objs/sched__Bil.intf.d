@@ -1,0 +1,1 @@
+lib/sched/bil.mli: Dag Platform Schedule

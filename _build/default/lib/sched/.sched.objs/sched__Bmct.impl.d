@@ -1,0 +1,1 @@
+lib/sched/bmct.ml: Array Dag Float Heft Int List Platform Schedule

@@ -1,0 +1,1 @@
+lib/sched/bmct.mli: Dag Platform Schedule

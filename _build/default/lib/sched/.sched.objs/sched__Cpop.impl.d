@@ -1,0 +1,1 @@
+lib/sched/cpop.ml: Array Dag Heft List Platform

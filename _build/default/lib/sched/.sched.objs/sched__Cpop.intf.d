@@ -1,0 +1,1 @@
+lib/sched/cpop.mli: Dag Platform Schedule

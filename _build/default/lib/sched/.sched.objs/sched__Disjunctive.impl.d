@@ -1,0 +1,1 @@
+lib/sched/disjunctive.ml: Array Dag Schedule Workloads

@@ -1,0 +1,1 @@
+lib/sched/disjunctive.mli: Dag Platform Schedule Workloads

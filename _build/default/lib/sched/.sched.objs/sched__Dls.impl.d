@@ -1,0 +1,1 @@
+lib/sched/dls.ml: Array Dag Float List Platform Schedule

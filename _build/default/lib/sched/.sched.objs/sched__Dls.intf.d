@@ -1,0 +1,1 @@
+lib/sched/dls.mli: Dag Platform Schedule

@@ -1,0 +1,1 @@
+lib/sched/gantt.ml: Array Buffer Bytes Char Int Printf Schedule Simulator

@@ -1,0 +1,1 @@
+lib/sched/heft.ml: Array Dag Float Int List Platform Printf Schedule

@@ -1,0 +1,1 @@
+lib/sched/heft.mli: Dag Platform Schedule

@@ -1,0 +1,1 @@
+lib/sched/random_sched.ml: Array Dag List Prng Schedule

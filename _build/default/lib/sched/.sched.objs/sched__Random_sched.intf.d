@@ -1,0 +1,1 @@
+lib/sched/random_sched.mli: Dag Prng Schedule

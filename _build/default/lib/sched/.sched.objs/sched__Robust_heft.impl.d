@@ -1,0 +1,1 @@
+lib/sched/robust_heft.ml: Array Dag Float Int List Platform Schedule Workloads

@@ -1,0 +1,1 @@
+lib/sched/robust_heft.mli: Dag Platform Schedule Workloads

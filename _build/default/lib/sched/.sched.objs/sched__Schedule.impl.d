@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Buffer Dag List Printf Queue String

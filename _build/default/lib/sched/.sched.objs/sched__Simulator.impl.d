@@ -1,0 +1,1 @@
+lib/sched/simulator.ml: Array Dag Float Platform Queue Schedule Workloads

@@ -1,0 +1,1 @@
+lib/sched/simulator.mli: Dag Platform Prng Schedule Workloads

@@ -1,0 +1,1 @@
+lib/sched/slack.ml: Array Dag Disjunctive Float Schedule Simulator

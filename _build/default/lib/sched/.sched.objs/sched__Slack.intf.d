@@ -1,0 +1,1 @@
+lib/sched/slack.mli: Platform Schedule Workloads

@@ -1,0 +1,137 @@
+let groups graph platform =
+  let order = Heft.rank_order graph platform in
+  let connected t group =
+    List.exists
+      (fun u -> Dag.Graph.has_edge graph ~src:u ~dst:t || Dag.Graph.has_edge graph ~src:t ~dst:u)
+      group
+  in
+  let finished, current =
+    Array.fold_left
+      (fun (done_groups, group) t ->
+        if connected t group then (List.rev group :: done_groups, [ t ])
+        else (done_groups, t :: group))
+      ([], []) order
+  in
+  List.rev (match current with [] -> finished | g -> List.rev g :: finished)
+
+(* Evaluation of one group under a tentative assignment: tasks of a group
+   are independent, so within a processor they run in increasing
+   data-ready order on top of the processor's current availability. *)
+type group_eval = {
+  completion : float; (* max finish over the group *)
+  finishes : (int * float) list; (* per task *)
+  proc_orders : int list array; (* group tasks per proc, execution order *)
+}
+
+let evaluate_group ~graph ~platform ~proc_avail ~finish ~proc_of group assignment =
+  let m = Platform.n_procs platform in
+  let data_ready t p =
+    let acc = ref 0. in
+    Array.iter
+      (fun (pred, volume) ->
+        let arrival =
+          finish.(pred) +. Platform.comm_time platform ~src:proc_of.(pred) ~dst:p ~volume
+        in
+        if arrival > !acc then acc := arrival)
+      (Dag.Graph.preds graph t);
+    !acc
+  in
+  let per_proc = Array.make m [] in
+  List.iter (fun t -> per_proc.(assignment t) <- t :: per_proc.(assignment t)) group;
+  let completion = ref 0. and finishes = ref [] in
+  let proc_orders =
+    Array.mapi
+      (fun p tasks ->
+        let tasks =
+          List.sort
+            (fun a b ->
+              match Float.compare (data_ready a p) (data_ready b p) with
+              | 0 -> Int.compare a b
+              | c -> c)
+            tasks
+        in
+        let avail = ref proc_avail.(p) in
+        List.iter
+          (fun t ->
+            let start = Float.max !avail (data_ready t p) in
+            let f = start +. Platform.etc platform ~task:t ~proc:p in
+            avail := f;
+            finishes := (t, f) :: !finishes;
+            if f > !completion then completion := f)
+          tasks;
+        tasks)
+      per_proc
+  in
+  { completion = !completion; finishes = !finishes; proc_orders }
+
+let schedule graph platform =
+  let n = Dag.Graph.n_tasks graph in
+  let m = Platform.n_procs platform in
+  let proc_avail = Array.make m 0. in
+  let finish = Array.make n 0. in
+  let proc_of = Array.make n (-1) in
+  let rev_orders = Array.make m [] in
+  let assign = Array.make n (-1) in
+  List.iter
+    (fun group ->
+      (* initial assignment: fastest processor *)
+      List.iter (fun t -> assign.(t) <- Platform.best_proc platform ~task:t) group;
+      let eval () =
+        evaluate_group ~graph ~platform ~proc_avail ~finish ~proc_of group (fun t ->
+            assign.(t))
+      in
+      let current = ref (eval ()) in
+      (* migrate tasks away from the last-finishing processor while the
+         group completion improves; bounded for safety *)
+      let improving = ref true in
+      let steps = ref 0 in
+      let max_steps = (List.length group * m) + 16 in
+      while !improving && !steps < max_steps do
+        incr steps;
+        improving := false;
+        (* processor realizing the completion time *)
+        let crit_proc = ref (-1) in
+        List.iter
+          (fun (t, f) -> if f = !current.completion then crit_proc := assign.(t))
+          !current.finishes;
+        if !crit_proc >= 0 then begin
+          let best = ref None in
+          List.iter
+            (fun t ->
+              if assign.(t) = !crit_proc then
+                for q = 0 to m - 1 do
+                  if q <> !crit_proc then begin
+                    let saved = assign.(t) in
+                    assign.(t) <- q;
+                    let e = eval () in
+                    (match !best with
+                    | Some (_, _, _, c) when c <= e.completion -> ()
+                    | _ ->
+                      if e.completion < !current.completion then
+                        best := Some (t, q, e, e.completion));
+                    assign.(t) <- saved
+                  end
+                done)
+            group;
+          match !best with
+          | Some (t, q, e, _) ->
+            assign.(t) <- q;
+            current := e;
+            improving := true
+          | None -> ()
+        end
+      done;
+      (* commit the group *)
+      List.iter (fun (t, f) -> finish.(t) <- f) !current.finishes;
+      Array.iteri
+        (fun p tasks ->
+          List.iter
+            (fun t ->
+              proc_of.(t) <- p;
+              rev_orders.(p) <- t :: rev_orders.(p);
+              if finish.(t) > proc_avail.(p) then proc_avail.(p) <- finish.(t))
+            tasks)
+        !current.proc_orders)
+    (groups graph platform);
+  let order = Array.map (fun l -> Array.of_list (List.rev l)) rev_orders in
+  Schedule.make ~graph ~n_procs:m ~proc_of ~order

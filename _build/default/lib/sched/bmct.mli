@@ -1,0 +1,14 @@
+(** Hyb.BMCT — the hybrid heuristic of Sakellariou & Zhao (HCW 2004).
+
+    Phase 1 ranks tasks by upward rank with averaged costs and splits the
+    ranked sequence into successive groups of mutually independent tasks.
+    Phase 2 schedules each group with the Balanced Minimum Completion
+    Time rule: every task starts on its fastest processor, then tasks are
+    iteratively migrated away from the processor finishing last while the
+    group's completion time improves. *)
+
+val groups : Dag.Graph.t -> Platform.t -> Dag.Graph.task list list
+(** The rank-ordered independent groups (exposed for tests: no two tasks
+    of a group are connected by an edge). *)
+
+val schedule : Dag.Graph.t -> Platform.t -> Schedule.t

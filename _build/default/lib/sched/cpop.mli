@@ -1,0 +1,13 @@
+(** CPOP — Critical Path On a Processor (Topcuoglu et al. 1999).
+
+    Included as a fourth makespan-centric baseline beyond the paper's
+    three. Task priority is [rank_u + rank_d] under averaged costs; the
+    tasks realizing the critical value are all pinned to the single
+    processor minimizing the critical path's total computation time;
+    other tasks go to their earliest-finish-time processor (insertion
+    policy). *)
+
+val critical_path : Dag.Graph.t -> Platform.t -> Dag.Graph.task list
+(** The critical path under averaged costs, entry to exit. *)
+
+val schedule : Dag.Graph.t -> Platform.t -> Schedule.t

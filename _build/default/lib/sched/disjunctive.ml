@@ -1,0 +1,25 @@
+let graph_of sched =
+  let graph = sched.Schedule.graph in
+  let extra = ref [] in
+  Array.iter
+    (fun tasks ->
+      for i = 0 to Array.length tasks - 2 do
+        let u = tasks.(i) and v = tasks.(i + 1) in
+        if not (Dag.Graph.has_edge graph ~src:u ~dst:v) then extra := (u, v, 0.) :: !extra
+      done)
+    sched.Schedule.order;
+  if !extra = [] then graph else Dag.Graph.add_edges graph !extra
+
+let weights sched platform model =
+  let graph = sched.Schedule.graph in
+  let proc_of = sched.Schedule.proc_of in
+  let task v = Workloads.Stochastify.task_mean model platform ~task:v ~proc:proc_of.(v) in
+  let edge u v =
+    (* disjunctive (processor-order) edges carry no data *)
+    match Dag.Graph.volume graph ~src:u ~dst:v with
+    | None -> 0.
+    | Some volume ->
+      Workloads.Stochastify.comm_mean model platform ~volume ~src:proc_of.(u)
+        ~dst:proc_of.(v)
+  in
+  { Dag.Levels.task; edge }

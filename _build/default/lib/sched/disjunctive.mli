@@ -1,0 +1,19 @@
+(** The disjunctive graph of a schedule (§II, after Shi et al.).
+
+    Tasks scheduled consecutively on the same processor gain an explicit
+    zero-volume dependency edge, so path computations (levels, slack,
+    distribution evaluation) over the resulting DAG account for processor
+    exclusivity exactly as the eager execution does. *)
+
+val graph_of : Schedule.t -> Dag.Graph.t
+(** The schedule's DAG plus a 0-volume edge between each pair of tasks
+    consecutive on a processor (skipped when the DAG edge already
+    exists). *)
+
+val weights :
+  Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Dag.Levels.weights
+(** Mean-duration weights for the disjunctive graph: a task weighs its
+    mean computation time on its assigned processor; a DAG edge weighs
+    its mean communication time between the assigned processors; an added
+    processor-order edge weighs 0. Pass {!Workloads.Stochastify.deterministic}
+    for minimum (deterministic) weights. *)

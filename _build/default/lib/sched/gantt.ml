@@ -1,0 +1,31 @@
+let render ?(width = 72) sched times =
+  if width < 10 then invalid_arg "Gantt.render: width too small";
+  let makespan = times.Simulator.makespan in
+  if makespan <= 0. then invalid_arg "Gantt.render: empty schedule";
+  let cell_of t =
+    Int.min (width - 1) (int_of_float (t /. makespan *. float_of_int width))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "time 0 .. %.2f (one cell = %.2f)\n" makespan
+       (makespan /. float_of_int width));
+  Array.iteri
+    (fun p tasks ->
+      let row = Bytes.make width '.' in
+      Array.iter
+        (fun t ->
+          let a = cell_of times.Simulator.start.(t) in
+          let b = Int.max a (cell_of times.Simulator.finish.(t) - 1) in
+          let label = Char.chr (Char.code 'A' + (t mod 26)) in
+          for i = a to b do
+            Bytes.set row i label
+          done)
+        tasks;
+      Buffer.add_string buf (Printf.sprintf "P%-2d |%s|\n" p (Bytes.to_string row)))
+    sched.Schedule.order;
+  Buffer.add_string buf "tasks: ";
+  for t = 0 to Int.min 25 (Schedule.n_tasks sched - 1) do
+    Buffer.add_string buf (Printf.sprintf "%c=%d " (Char.chr (Char.code 'A' + t)) t)
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf

@@ -1,0 +1,6 @@
+(** Text Gantt charts of executed schedules, for examples and debugging. *)
+
+val render : ?width:int -> Schedule.t -> Simulator.times -> string
+(** [render sched times] draws one row per processor on a time axis of
+    [width] character cells (default 72); tasks are labelled by index
+    modulo the cell granularity. *)

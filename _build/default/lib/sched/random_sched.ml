@@ -1,0 +1,31 @@
+let generate ~rng ~graph ~n_procs =
+  if n_procs <= 0 then invalid_arg "Random_sched.generate: n_procs must be positive";
+  let n = Dag.Graph.n_tasks graph in
+  let remaining_preds = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
+  (* ready tasks kept in an array with O(1) removal by swap *)
+  let ready = Array.make n 0 in
+  let ready_count = ref 0 in
+  let push v =
+    ready.(!ready_count) <- v;
+    incr ready_count
+  in
+  Array.iteri (fun v d -> if d = 0 then push v) remaining_preds;
+  let picks = ref [] in
+  for _ = 1 to n do
+    let idx = Prng.Xoshiro.int rng !ready_count in
+    let v = ready.(idx) in
+    decr ready_count;
+    ready.(idx) <- ready.(!ready_count);
+    let proc = Prng.Xoshiro.int rng n_procs in
+    picks := (v, proc) :: !picks;
+    Array.iter
+      (fun (w, _) ->
+        remaining_preds.(w) <- remaining_preds.(w) - 1;
+        if remaining_preds.(w) = 0 then push w)
+      (Dag.Graph.succs graph v)
+  done;
+  Schedule.of_assignment_sequence ~graph ~n_procs (List.rev !picks)
+
+let generate_many ~rng ~graph ~n_procs ~count =
+  if count < 0 then invalid_arg "Random_sched.generate_many: negative count";
+  List.init count (fun _ -> generate ~rng ~graph ~n_procs)

@@ -1,0 +1,15 @@
+(** Random eager schedules (§V).
+
+    The paper's generator repeats three steps until every task is placed:
+    pick a uniformly random ready task, assign it to a uniformly random
+    processor (appending to that processor's order), update the ready
+    list. The resulting schedules sample the space the correlation study
+    is computed over. *)
+
+val generate : rng:Prng.Xoshiro.t -> graph:Dag.Graph.t -> n_procs:int -> Schedule.t
+(** One random schedule. *)
+
+val generate_many :
+  rng:Prng.Xoshiro.t -> graph:Dag.Graph.t -> n_procs:int -> count:int -> Schedule.t list
+(** [count] independent random schedules (duplicates are possible but,
+    as the paper notes, vanishingly rare beyond tiny graphs). *)

@@ -1,0 +1,142 @@
+type t = {
+  graph : Dag.Graph.t;
+  n_procs : int;
+  proc_of : int array;
+  order : int array array;
+  pos_in_proc : int array;
+}
+
+(* The eager execution exists iff DAG edges plus processor-order edges
+   form a DAG; check with Kahn's algorithm over the union. *)
+let check_acyclic graph order =
+  let n = Dag.Graph.n_tasks graph in
+  let extra_succ = Array.make n [] in
+  let indeg = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
+  Array.iter
+    (fun tasks ->
+      for i = 0 to Array.length tasks - 2 do
+        let u = tasks.(i) and v = tasks.(i + 1) in
+        extra_succ.(u) <- v :: extra_succ.(u);
+        indeg.(v) <- indeg.(v) + 1
+      done)
+    order;
+  let queue = Queue.create () in
+  Array.iteri (fun v d -> if d = 0 then Queue.add v queue) indeg;
+  let seen = ref 0 in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    incr seen;
+    let release w =
+      indeg.(w) <- indeg.(w) - 1;
+      if indeg.(w) = 0 then Queue.add w queue
+    in
+    Array.iter (fun (w, _) -> release w) (Dag.Graph.succs graph v);
+    List.iter release extra_succ.(v)
+  done;
+  if !seen <> n then
+    invalid_arg "Schedule.make: processor orders conflict with precedence (deadlock)"
+
+let make ~graph ~n_procs ~proc_of ~order =
+  let n = Dag.Graph.n_tasks graph in
+  if n_procs <= 0 then invalid_arg "Schedule.make: n_procs must be positive";
+  if Array.length proc_of <> n then invalid_arg "Schedule.make: proc_of has wrong length";
+  if Array.length order <> n_procs then
+    invalid_arg "Schedule.make: order must have one row per processor";
+  Array.iter
+    (fun p -> if p < 0 || p >= n_procs then invalid_arg "Schedule.make: processor out of range")
+    proc_of;
+  let pos_in_proc = Array.make n (-1) in
+  Array.iteri
+    (fun p tasks ->
+      Array.iteri
+        (fun i v ->
+          if v < 0 || v >= n then invalid_arg "Schedule.make: task out of range";
+          if pos_in_proc.(v) <> -1 then invalid_arg "Schedule.make: task scheduled twice";
+          if proc_of.(v) <> p then
+            invalid_arg "Schedule.make: order row disagrees with proc_of";
+          pos_in_proc.(v) <- i)
+        tasks)
+    order;
+  Array.iteri
+    (fun v pos -> if pos = -1 then invalid_arg (Printf.sprintf "Schedule.make: task %d unscheduled" v))
+    pos_in_proc;
+  check_acyclic graph order;
+  { graph; n_procs; proc_of = Array.copy proc_of; order = Array.map Array.copy order; pos_in_proc }
+
+let of_assignment_sequence ~graph ~n_procs picks =
+  let n = Dag.Graph.n_tasks graph in
+  let proc_of = Array.make n (-1) in
+  let rev_orders = Array.make n_procs [] in
+  List.iter
+    (fun (task, proc) ->
+      if task < 0 || task >= n then
+        invalid_arg "Schedule.of_assignment_sequence: task out of range";
+      if proc < 0 || proc >= n_procs then
+        invalid_arg "Schedule.of_assignment_sequence: processor out of range";
+      if proc_of.(task) <> -1 then
+        invalid_arg "Schedule.of_assignment_sequence: task scheduled twice";
+      proc_of.(task) <- proc;
+      rev_orders.(proc) <- task :: rev_orders.(proc))
+    picks;
+  let order = Array.map (fun l -> Array.of_list (List.rev l)) rev_orders in
+  make ~graph ~n_procs ~proc_of ~order
+
+let proc_pred t v =
+  let pos = t.pos_in_proc.(v) in
+  if pos = 0 then None else Some t.order.(t.proc_of.(v)).(pos - 1)
+
+let proc_succ t v =
+  let row = t.order.(t.proc_of.(v)) in
+  let pos = t.pos_in_proc.(v) in
+  if pos + 1 >= Array.length row then None else Some row.(pos + 1)
+
+let n_tasks t = Dag.Graph.n_tasks t.graph
+
+let tasks_of_proc t p = t.order.(p)
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun p tasks ->
+      Buffer.add_string buf (Printf.sprintf "p%d:" p);
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf " %d" v)) tasks;
+      Buffer.add_char buf '\n')
+    t.order;
+  Buffer.contents buf
+
+let of_string ~graph s =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' s)
+  in
+  let parse_line idx line =
+    match String.index_opt line ':' with
+    | None -> invalid_arg "Schedule.of_string: missing ':'"
+    | Some colon ->
+      let head = String.sub line 0 colon in
+      if head <> Printf.sprintf "p%d" idx then
+        invalid_arg "Schedule.of_string: processors must appear in order p0, p1, …";
+      let rest = String.sub line (colon + 1) (String.length line - colon - 1) in
+      String.split_on_char ' ' rest
+      |> List.filter_map (fun tok ->
+             let tok = String.trim tok in
+             if tok = "" then None
+             else
+               match int_of_string_opt tok with
+               | Some v -> Some v
+               | None -> invalid_arg "Schedule.of_string: malformed task id")
+      |> Array.of_list
+  in
+  let order = Array.of_list (List.mapi parse_line lines) in
+  let n_procs = Array.length order in
+  if n_procs = 0 then invalid_arg "Schedule.of_string: empty input";
+  let n = Dag.Graph.n_tasks graph in
+  let proc_of = Array.make n (-1) in
+  Array.iteri
+    (fun p tasks ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then invalid_arg "Schedule.of_string: task out of range";
+          proc_of.(v) <- p)
+        tasks)
+    order;
+  make ~graph ~n_procs ~proc_of ~order

@@ -1,0 +1,48 @@
+(** Eager schedules (§II).
+
+    A schedule fixes, for every task, a processor and a position in that
+    processor's execution order. Start and finish times are {e not} part
+    of the schedule: under the eager discipline each task starts as soon
+    as its predecessors' data has arrived and its processor is free, in
+    the recorded order — so times are derived by {!Simulator} from
+    whichever durations (deterministic, mean, or sampled) are in play. *)
+
+type t = private {
+  graph : Dag.Graph.t;
+  n_procs : int;
+  proc_of : int array;  (** task → processor *)
+  order : int array array;  (** processor → its tasks, execution order *)
+  pos_in_proc : int array;  (** task → index within its processor's order *)
+}
+
+val make :
+  graph:Dag.Graph.t -> n_procs:int -> proc_of:int array -> order:int array array -> t
+(** Validates that [order] partitions the task set consistently with
+    [proc_of] and that processor orders are compatible with the DAG (the
+    union of precedence and processor-order constraints is acyclic —
+    otherwise the eager execution would deadlock). *)
+
+val of_assignment_sequence :
+  graph:Dag.Graph.t -> n_procs:int -> (Dag.Graph.task * Platform.proc) list -> t
+(** [of_assignment_sequence ~graph ~n_procs picks] builds a schedule from
+    a list-scheduling trace: tasks in the order they were scheduled, each
+    appended to its processor's order. *)
+
+val proc_pred : t -> Dag.Graph.task -> Dag.Graph.task option
+(** The task executed immediately before on the same processor. *)
+
+val proc_succ : t -> Dag.Graph.task -> Dag.Graph.task option
+
+val n_tasks : t -> int
+
+val tasks_of_proc : t -> Platform.proc -> Dag.Graph.task array
+(** Execution order of one processor (do not mutate). *)
+
+val to_string : t -> string
+(** Compact textual form, one line per processor:
+    ["p0: 0 1 3\np1: 2\n"]. Stable across versions; round-trips through
+    {!of_string}. *)
+
+val of_string : graph:Dag.Graph.t -> string -> t
+(** Parse {!to_string} output back against the same task graph, with full
+    {!make} validation. Raises [Invalid_argument] on malformed input. *)

@@ -1,0 +1,39 @@
+(** The slack metrics of §IV.
+
+    The slack of task [i] is [s_i = M − Bl(i) − Tl(i)] — the window by
+    which [i] may slip without delaying the makespan — computed with mean
+    durations. The paper's two derived metrics are the {e sum} of slacks
+    (called “average slack”) and the dispersion of the per-task slacks.
+
+    Two readings of the §IV formulas coexist in the literature, so both
+    are implemented:
+    - [`Disjunctive] (default): levels on the schedule's disjunctive
+      graph, as in Shi, Jeannot & Dongarra (the paper's reference [15])
+      and Bölöni & Marinescu's delay-window definition. A fully
+      serialized schedule has zero slack — matching the paper's §VII
+      remark about sequential schedules having “significant makespan and
+      small slack”.
+    - [`Precedence]: levels on the plain precedence DAG (exactly the §IV
+      formulas, which mention no processor-order edges) with [M] still
+      the schedule's makespan; every task's slack then grows with the
+      schedule's idle time. This variant reproduces the strong negative
+      slack-makespan correlation of the paper's Fig. 3. *)
+
+type graph_mode =
+  [ `Disjunctive  (** processor-order aware (default) *)
+  | `Precedence  (** plain DAG levels, schedule makespan as reference *) ]
+
+type summary = {
+  per_task : float array;
+  total : float;  (** Σ sᵢ — the paper's S *)
+  mean : float;  (** Σ sᵢ / n *)
+  std : float;  (** population standard deviation of the sᵢ *)
+  makespan : float;  (** reference makespan M *)
+}
+
+val compute :
+  ?mode:graph_mode -> Schedule.t -> Platform.t -> Workloads.Stochastify.t -> summary
+(** Slack summary under mean durations. In [`Disjunctive] mode the
+    identity [max(Tl(i) + Bl(i)) = M] holds by construction and critical
+    tasks have slack 0; in [`Precedence] mode slacks are clamped at 0
+    and [M] is the mean-duration eager makespan. *)

@@ -1,0 +1,1 @@
+lib/stats/matrix_render.ml: Array Buffer Float Int Printf String

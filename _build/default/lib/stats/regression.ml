@@ -1,0 +1,32 @@
+type fit = {
+  slope : float;
+  intercept : float;
+  r : float;
+  r2 : float;
+  residual_std : float;
+}
+
+let fit xs ys =
+  let n = Array.length xs in
+  if Array.length ys <> n then invalid_arg "Regression.fit: length mismatch";
+  if n < 2 then invalid_arg "Regression.fit: need at least 2 points";
+  let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+  let sxy = ref 0. and sxx = ref 0. in
+  for i = 0 to n - 1 do
+    let dx = xs.(i) -. mx in
+    sxy := !sxy +. (dx *. (ys.(i) -. my));
+    sxx := !sxx +. (dx *. dx)
+  done;
+  let slope = if !sxx = 0. then 0. else !sxy /. !sxx in
+  let intercept = my -. (slope *. mx) in
+  let r = Correlation.pearson xs ys in
+  let r2 = if Float.is_nan r then Float.nan else r *. r in
+  let ss_res = ref 0. in
+  for i = 0 to n - 1 do
+    let e = ys.(i) -. (intercept +. (slope *. xs.(i))) in
+    ss_res := !ss_res +. (e *. e)
+  done;
+  let residual_std = sqrt (!ss_res /. float_of_int (Int.max 1 (n - 2))) in
+  { slope; intercept; r; r2; residual_std }
+
+let predict f x = f.intercept +. (f.slope *. x)

@@ -1,0 +1,19 @@
+(** Simple least-squares linear regression.
+
+    The paper overlays a linear fit on every scatter plot of its
+    correlation matrices; this provides the fitted line and its quality. *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r : float;  (** Pearson correlation of the fitted pair *)
+  r2 : float;  (** coefficient of determination *)
+  residual_std : float;  (** standard deviation of the residuals *)
+}
+
+val fit : float array -> float array -> fit
+(** [fit xs ys] for equal-length samples of size >= 2. A zero-variance
+    [xs] yields slope 0 and intercept [mean ys], with [r = nan]. *)
+
+val predict : fit -> float -> float
+(** Evaluate the fitted line. *)

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.ml: Dag Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/workloads/lu.ml: Dag Hashtbl List Printf

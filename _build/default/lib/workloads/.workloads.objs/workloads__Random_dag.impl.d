@@ -1,0 +1,1 @@
+lib/workloads/random_dag.ml: Array Dag Int Prng

@@ -1,0 +1,1 @@
+lib/workloads/stochastify.ml: Distribution Float List Numerics Platform Prng

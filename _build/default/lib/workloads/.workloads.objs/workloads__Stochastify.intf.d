@@ -1,0 +1,1 @@
+lib/workloads/stochastify.mli: Distribution Platform Prng

@@ -1,0 +1,74 @@
+type kind =
+  | Potrf of int
+  | Trsm of int * int
+  | Update of int * int * int
+
+let check_tiles tiles =
+  if tiles <= 0 then invalid_arg "Cholesky: tiles must be positive"
+
+(* all tasks, in a canonical order: per step k, factor then panel then
+   trailing update *)
+let kinds ~tiles =
+  check_tiles tiles;
+  let acc = ref [] in
+  for k = tiles - 1 downto 0 do
+    let step = ref [] in
+    step := [ Potrf k ];
+    for i = k + 1 to tiles - 1 do
+      step := !step @ [ Trsm (k, i) ]
+    done;
+    for i = k + 1 to tiles - 1 do
+      for j = k + 1 to i do
+        step := !step @ [ Update (k, i, j) ]
+      done
+    done;
+    acc := !step @ !acc
+  done;
+  !acc
+
+let n_tasks ~tiles = List.length (kinds ~tiles)
+
+let index_table ~tiles =
+  let table = Hashtbl.create 64 in
+  List.iteri (fun i k -> Hashtbl.add table k i) (kinds ~tiles);
+  table
+
+let generate ~tiles ?(volume = 20.0) () =
+  check_tiles tiles;
+  if volume < 0. then invalid_arg "Cholesky.generate: volume must be >= 0";
+  let table = index_table ~tiles in
+  let id k = Hashtbl.find table k in
+  let edges = ref [] in
+  let add src dst = edges := (id src, id dst, volume) :: !edges in
+  for k = 0 to tiles - 1 do
+    for i = k + 1 to tiles - 1 do
+      (* factored diagonal tile feeds the panel solves *)
+      add (Potrf k) (Trsm (k, i));
+      for j = k + 1 to i do
+        (* panel tiles feed the trailing update of tile (i, j) *)
+        add (Trsm (k, i)) (Update (k, i, j));
+        if j <> i then add (Trsm (k, j)) (Update (k, i, j))
+      done
+    done;
+    (* each updated tile is consumed at step k+1 *)
+    for i = k + 1 to tiles - 1 do
+      for j = k + 1 to i do
+        if i = k + 1 && j = k + 1 then add (Update (k, i, j)) (Potrf (k + 1))
+        else if j = k + 1 then add (Update (k, i, j)) (Trsm (k + 1, i))
+        else add (Update (k, i, j)) (Update (k + 1, i, j))
+      done
+    done
+  done;
+  Dag.Graph.make ~n:(n_tasks ~tiles) ~edges:!edges
+
+let kind_of ~tiles task =
+  match List.nth_opt (kinds ~tiles) task with
+  | Some k -> k
+  | None -> invalid_arg "Cholesky.kind_of: task out of range"
+
+let task_name ~tiles task =
+  match kind_of ~tiles task with
+  | Potrf k -> Printf.sprintf "POTRF(%d)" k
+  | Trsm (k, i) -> Printf.sprintf "TRSM(%d,%d)" k i
+  | Update (k, i, j) ->
+    if i = j then Printf.sprintf "SYRK(%d,%d)" k i else Printf.sprintf "GEMM(%d,%d,%d)" k i j

@@ -1,0 +1,61 @@
+let check_pos name v = if v <= 0 then invalid_arg ("Classic." ^ name ^ ": size must be positive")
+
+let chain ~n ?(volume = 1.0) () =
+  check_pos "chain" n;
+  let edges = List.init (Int.max 0 (n - 1)) (fun i -> (i, i + 1, volume)) in
+  Dag.Graph.make ~n ~edges
+
+let join ~n ?(volume = 1.0) () =
+  check_pos "join" n;
+  let edges = List.init n (fun i -> (i, n, volume)) in
+  Dag.Graph.make ~n:(n + 1) ~edges
+
+let fork_join ~width ?(volume = 1.0) () =
+  check_pos "fork_join" width;
+  let sink = width + 1 in
+  let edges =
+    List.concat
+      (List.init width (fun i -> [ (0, i + 1, volume); (i + 1, sink, volume) ]))
+  in
+  Dag.Graph.make ~n:(width + 2) ~edges
+
+(* A complete arity-ary tree with the root at index 0; [towards_root]
+   selects the edge orientation. *)
+let tree ~depth ~arity ~volume ~towards_root =
+  if depth < 0 then invalid_arg "Classic.tree: depth must be >= 0";
+  if arity < 1 then invalid_arg "Classic.tree: arity must be >= 1";
+  let rec count d = if d = 0 then 1 else 1 + (arity * count (d - 1)) in
+  (* nodes indexed level order: children of v are arity·v + 1 … arity·v + arity *)
+  let n =
+    if arity = 1 then depth + 1
+    else (int_of_float (float_of_int arity ** float_of_int (depth + 1)) - 1) / (arity - 1)
+  in
+  ignore count;
+  let edges = ref [] in
+  for v = 0 to n - 1 do
+    for c = 1 to arity do
+      let child = (arity * v) + c in
+      if child < n then
+        edges :=
+          (if towards_root then (child, v, volume) else (v, child, volume)) :: !edges
+    done
+  done;
+  Dag.Graph.make ~n ~edges:!edges
+
+let in_tree ~depth ?(arity = 2) ?(volume = 1.0) () =
+  tree ~depth ~arity ~volume ~towards_root:true
+
+let out_tree ~depth ?(arity = 2) ?(volume = 1.0) () =
+  tree ~depth ~arity ~volume ~towards_root:false
+
+let diamond ~rows ?(volume = 1.0) () =
+  check_pos "diamond" rows;
+  let id i j = (i * rows) + j in
+  let edges = ref [] in
+  for i = 0 to rows - 1 do
+    for j = 0 to rows - 1 do
+      if i + 1 < rows then edges := (id i j, id (i + 1) j, volume) :: !edges;
+      if j + 1 < rows then edges := (id i j, id i (j + 1), volume) :: !edges
+    done
+  done;
+  Dag.Graph.make ~n:(rows * rows) ~edges:!edges

@@ -1,0 +1,27 @@
+(** Classic benchmark DAG shapes: chains, trees, fork–join, join,
+    diamond/stencil grids.
+
+    The join graph is the shape of the paper's Fig. 9 argument (N
+    independent i.i.d. tasks feeding one final task); the others round out
+    the example suite and the property tests. *)
+
+val chain : n:int -> ?volume:float -> unit -> Dag.Graph.t
+(** [n] tasks in a line. *)
+
+val join : n:int -> ?volume:float -> unit -> Dag.Graph.t
+(** [n] independent tasks (ids [0..n−1]) all feeding a final join task
+    (id [n]) — [n + 1] tasks total, Fig. 9's graph. *)
+
+val fork_join : width:int -> ?volume:float -> unit -> Dag.Graph.t
+(** One source, [width] parallel tasks, one sink ([width + 2] tasks). *)
+
+val in_tree : depth:int -> ?arity:int -> ?volume:float -> unit -> Dag.Graph.t
+(** Complete [arity]-ary in-tree (leaves are entries, root is the only
+    exit) of the given [depth] (a single root at depth 0). *)
+
+val out_tree : depth:int -> ?arity:int -> ?volume:float -> unit -> Dag.Graph.t
+(** Mirror image of {!in_tree}. *)
+
+val diamond : rows:int -> ?volume:float -> unit -> Dag.Graph.t
+(** 2-D dependency grid ([rows × rows] tasks): task [(i,j)] depends on
+    [(i−1,j)] and [(i,j−1)] — the wavefront/stencil pattern. *)

@@ -1,0 +1,30 @@
+let check n =
+  if n <= 0 || n land (n - 1) <> 0 then
+    invalid_arg "Fft_graph: n must be a positive power of two"
+
+let log2 n =
+  let rec go acc m = if m <= 1 then acc else go (acc + 1) (m / 2) in
+  go 0 n
+
+let n_tasks ~n =
+  check n;
+  n * (log2 n + 1)
+
+let generate ~n ?(volume = 20.0) () =
+  check n;
+  if volume < 0. then invalid_arg "Fft_graph.generate: volume must be >= 0";
+  let levels = log2 n in
+  let id l i = (l * n) + i in
+  let edges = ref [] in
+  for l = 0 to levels - 1 do
+    for i = 0 to n - 1 do
+      edges := (id l i, id (l + 1) i, volume) :: !edges;
+      edges := (id l i, id (l + 1) (i lxor (1 lsl l)), volume) :: !edges
+    done
+  done;
+  Dag.Graph.make ~n:(n * (levels + 1)) ~edges:!edges
+
+let level_of ~n task =
+  check n;
+  if task < 0 || task >= n_tasks ~n then invalid_arg "Fft_graph.level_of: out of range";
+  (task / n, task mod n)

@@ -1,0 +1,13 @@
+(** Butterfly task graph of an n-point FFT (n a power of two): [log₂ n + 1]
+    levels of [n] tasks; task [(l+1, i)] consumes [(l, i)] and
+    [(l, i xor 2^l)]. A standard scheduling benchmark with maximal,
+    regular communication. *)
+
+val n_tasks : n:int -> int
+(** [n·(log₂ n + 1)]; [n] must be a positive power of two. *)
+
+val generate : n:int -> ?volume:float -> unit -> Dag.Graph.t
+(** Uniform per-edge communication [volume] (default 20.0). *)
+
+val level_of : n:int -> Dag.Graph.task -> int * int
+(** [(level, index)] of a task. *)

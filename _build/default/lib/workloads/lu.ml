@@ -1,0 +1,75 @@
+type kind =
+  | Getrf of int
+  | Trsm_row of int * int
+  | Trsm_col of int * int
+  | Gemm of int * int * int
+
+let check_tiles tiles = if tiles <= 0 then invalid_arg "Lu: tiles must be positive"
+
+let kinds ~tiles =
+  check_tiles tiles;
+  let acc = ref [] in
+  for k = tiles - 1 downto 0 do
+    let step = ref [ Getrf k ] in
+    for j = k + 1 to tiles - 1 do
+      step := !step @ [ Trsm_row (k, j) ]
+    done;
+    for i = k + 1 to tiles - 1 do
+      step := !step @ [ Trsm_col (k, i) ]
+    done;
+    for i = k + 1 to tiles - 1 do
+      for j = k + 1 to tiles - 1 do
+        step := !step @ [ Gemm (k, i, j) ]
+      done
+    done;
+    acc := !step @ !acc
+  done;
+  !acc
+
+let n_tasks ~tiles = List.length (kinds ~tiles)
+
+let index_table ~tiles =
+  let table = Hashtbl.create 64 in
+  List.iteri (fun i k -> Hashtbl.add table k i) (kinds ~tiles);
+  table
+
+let generate ~tiles ?(volume = 20.0) () =
+  check_tiles tiles;
+  if volume < 0. then invalid_arg "Lu.generate: volume must be >= 0";
+  let table = index_table ~tiles in
+  let id k = Hashtbl.find table k in
+  let edges = ref [] in
+  let add src dst = edges := (id src, id dst, volume) :: !edges in
+  for k = 0 to tiles - 1 do
+    for j = k + 1 to tiles - 1 do
+      add (Getrf k) (Trsm_row (k, j))
+    done;
+    for i = k + 1 to tiles - 1 do
+      add (Getrf k) (Trsm_col (k, i))
+    done;
+    for i = k + 1 to tiles - 1 do
+      for j = k + 1 to tiles - 1 do
+        (* the update of tile (i, j) needs the solved row and column panels *)
+        add (Trsm_col (k, i)) (Gemm (k, i, j));
+        add (Trsm_row (k, j)) (Gemm (k, i, j));
+        (* and feeds tile (i, j)'s consumer at step k+1 *)
+        if i = k + 1 && j = k + 1 then add (Gemm (k, i, j)) (Getrf (k + 1))
+        else if i = k + 1 then add (Gemm (k, i, j)) (Trsm_row (k + 1, j))
+        else if j = k + 1 then add (Gemm (k, i, j)) (Trsm_col (k + 1, i))
+        else add (Gemm (k, i, j)) (Gemm (k + 1, i, j))
+      done
+    done
+  done;
+  Dag.Graph.make ~n:(n_tasks ~tiles) ~edges:!edges
+
+let kind_of ~tiles task =
+  match List.nth_opt (kinds ~tiles) task with
+  | Some k -> k
+  | None -> invalid_arg "Lu.kind_of: task out of range"
+
+let task_name ~tiles task =
+  match kind_of ~tiles task with
+  | Getrf k -> Printf.sprintf "GETRF(%d)" k
+  | Trsm_row (k, j) -> Printf.sprintf "TRSM-R(%d,%d)" k j
+  | Trsm_col (k, i) -> Printf.sprintf "TRSM-C(%d,%d)" k i
+  | Gemm (k, i, j) -> Printf.sprintf "GEMM(%d,%d,%d)" k i j

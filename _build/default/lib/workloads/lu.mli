@@ -1,0 +1,22 @@
+(** Task graph of the tiled LU factorization (no pivoting) — a classic
+    heterogeneous-scheduling benchmark beyond the paper's two
+    real applications.
+
+    Right-looking over [b × b] tiles: [Getrf k] factors the diagonal
+    tile; [Trsm_row (k, j)] and [Trsm_col (k, i)] solve the panel
+    row/column; [Gemm (k, i, j)] updates the trailing submatrix. *)
+
+type kind =
+  | Getrf of int
+  | Trsm_row of int * int  (** [Trsm_row (k, j)], [j > k] *)
+  | Trsm_col of int * int  (** [Trsm_col (k, i)], [i > k] *)
+  | Gemm of int * int * int  (** [Gemm (k, i, j)], [i, j > k] *)
+
+val n_tasks : tiles:int -> int
+(** [Σ_k 1 + 2(b−k−1) + (b−k−1)²] — e.g. 14 tasks for [b = 3]. *)
+
+val generate : tiles:int -> ?volume:float -> unit -> Dag.Graph.t
+(** Uniform tile communication [volume] (default 20.0). *)
+
+val kind_of : tiles:int -> Dag.Graph.task -> kind
+val task_name : tiles:int -> Dag.Graph.task -> string

@@ -1,0 +1,1 @@
+test/test_dag.ml: Alcotest Array Dag Float Fun Printf QCheck2 String Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_distribution.ml: Alcotest Array Dist Distribution Empirical Family Float List Normal_pair Printf Prng QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Dag Experiments Filename Float Lazy List Printf String Sys Tutil Unix

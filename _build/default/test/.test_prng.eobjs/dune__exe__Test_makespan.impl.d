@@ -1,0 +1,1 @@
+test/test_makespan.ml: Alcotest Array Dag Distribution Float Fun List Makespan Numerics Platform QCheck2 Sched Stats Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Array Distribution Float List Makespan Metrics Platform Sched Stats Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Dag Float Fun List Platform Sched String Tutil Workloads

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Distribution Float Numerics Prng QCheck2 Stats String Tutil

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Dag Distribution Float Fun List Numerics Platform Printf QCheck2 Tutil Workloads

@@ -1,0 +1,422 @@
+(* Numerics suites: FFT vs naive DFT, convolutions, splines, quadrature,
+   special functions, root finding. *)
+
+let check_close = Tutil.check_close
+let check_close_abs = Tutil.check_close_abs
+
+(* --- Array_ops --- *)
+
+let linspace_endpoints () =
+  let a = Numerics.Array_ops.linspace 1. 5. 9 in
+  Alcotest.(check int) "length" 9 (Array.length a);
+  check_close "first" 1. a.(0);
+  check_close "last" 5. a.(8);
+  check_close "step" 0.5 (a.(1) -. a.(0))
+
+let kahan_sum_precision () =
+  let a = Array.make 1_000_000 0.1 in
+  check_close ~eps:1e-12 "kahan" 100000. (Numerics.Array_ops.sum a)
+
+let next_pow2_values () =
+  List.iter
+    (fun (n, want) ->
+      Alcotest.(check int) (string_of_int n) want (Numerics.Array_ops.next_pow2 n))
+    [ (0, 1); (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (1000, 1024); (1024, 1024) ]
+
+let argmax_max_min () =
+  let a = [| 3.; -1.; 7.; 7.; 0. |] in
+  Alcotest.(check int) "argmax first" 2 (Numerics.Array_ops.argmax a);
+  check_close "max" 7. (Numerics.Array_ops.max_elt a);
+  check_close "min" (-1.) (Numerics.Array_ops.min_elt a)
+
+let dot_product () =
+  check_close "dot" 32. (Numerics.Array_ops.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |])
+
+(* --- FFT --- *)
+
+let fft_matches_naive =
+  Tutil.qcheck ~count:50 "fft = naive dft"
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 0 100000))
+    (fun (log_n, seed) ->
+      let n = 1 lsl log_n in
+      let rng = Tutil.rng_of_seed seed in
+      let re = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-1.) ~hi:1.) in
+      let im = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-1.) ~hi:1.) in
+      let want_re, want_im = Numerics.Fft.naive_dft re im in
+      let got_re = Array.copy re and got_im = Array.copy im in
+      Numerics.Fft.forward got_re got_im;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if
+          Float.abs (got_re.(i) -. want_re.(i)) > 1e-8
+          || Float.abs (got_im.(i) -. want_im.(i)) > 1e-8
+        then ok := false
+      done;
+      !ok)
+
+let fft_roundtrip =
+  Tutil.qcheck ~count:50 "inverse . forward = id"
+    QCheck2.Gen.(pair (int_range 0 10) (int_range 0 100000))
+    (fun (log_n, seed) ->
+      let n = 1 lsl log_n in
+      let rng = Tutil.rng_of_seed seed in
+      let re = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-5.) ~hi:5.) in
+      let im = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-5.) ~hi:5.) in
+      let got_re = Array.copy re and got_im = Array.copy im in
+      Numerics.Fft.forward got_re got_im;
+      Numerics.Fft.inverse got_re got_im;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        if
+          Float.abs (got_re.(i) -. re.(i)) > 1e-9
+          || Float.abs (got_im.(i) -. im.(i)) > 1e-9
+        then ok := false
+      done;
+      !ok)
+
+let fft_impulse () =
+  let re = [| 1.; 0.; 0.; 0. |] and im = [| 0.; 0.; 0.; 0. |] in
+  Numerics.Fft.forward re im;
+  Array.iter (fun v -> check_close "re" 1. v) re;
+  Array.iter (fun v -> check_close_abs "im" 0. v) im
+
+let fft_rejects_non_pow2 () =
+  Alcotest.check_raises "length 3" (Invalid_argument "Fft: length must be a power of two")
+    (fun () -> Numerics.Fft.forward (Array.make 3 0.) (Array.make 3 0.))
+
+(* --- Convolution --- *)
+
+let conv_gen =
+  QCheck2.Gen.(
+    let* n = int_range 1 40 in
+    let* m = int_range 1 40 in
+    let* seed = int_range 0 100000 in
+    let rng = Tutil.rng_of_seed seed in
+    let mk k = Array.init k (fun _ -> Prng.Sampler.uniform rng ~lo:(-2.) ~hi:2.) in
+    return (mk n, mk m))
+
+let conv_close a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= 1e-8 *. Float.max 1. (Float.abs x)) a b
+
+let conv_fft_matches_direct =
+  Tutil.qcheck ~count:100 "fft conv = direct conv" conv_gen (fun (a, b) ->
+      conv_close (Numerics.Convolution.direct a b) (Numerics.Convolution.fft a b))
+
+let conv_overlap_add_matches_direct =
+  Tutil.qcheck ~count:100 "overlap-add conv = direct conv" conv_gen (fun (a, b) ->
+      conv_close (Numerics.Convolution.direct a b) (Numerics.Convolution.overlap_add a b))
+
+let conv_auto_matches_direct =
+  Tutil.qcheck ~count:100 "auto conv = direct conv" conv_gen (fun (a, b) ->
+      conv_close (Numerics.Convolution.direct a b) (Numerics.Convolution.auto a b))
+
+let conv_known_value () =
+  let got = Numerics.Convolution.direct [| 1.; 2.; 3. |] [| 0.; 1.; 0.5 |] in
+  let want = [| 0.; 1.; 2.5; 4.; 1.5 |] in
+  Array.iteri (fun i v -> check_close (Printf.sprintf "c%d" i) want.(i) v) got
+
+let conv_commutative =
+  Tutil.qcheck ~count:50 "convolution commutes" conv_gen (fun (a, b) ->
+      conv_close (Numerics.Convolution.direct a b) (Numerics.Convolution.direct b a))
+
+let conv_overlap_add_block_sizes () =
+  let a = Array.init 100 (fun i -> float_of_int (i mod 7)) in
+  let b = [| 1.; -1.; 0.5 |] in
+  let want = Numerics.Convolution.direct a b in
+  List.iter
+    (fun block ->
+      let got = Numerics.Convolution.overlap_add ~block a b in
+      Alcotest.(check bool) (Printf.sprintf "block %d" block) true (conv_close want got))
+    [ 1; 2; 7; 64; 200 ]
+
+(* --- Spline --- *)
+
+let spline_interpolates_knots =
+  Tutil.qcheck ~count:100 "spline passes through knots"
+    QCheck2.Gen.(pair (int_range 2 30) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Tutil.rng_of_seed seed in
+      let xs =
+        Array.init n (fun i -> float_of_int i +. Prng.Sampler.uniform rng ~lo:0. ~hi:0.5)
+      in
+      let ys = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-3.) ~hi:3.) in
+      let s = Numerics.Spline.fit ~xs ~ys in
+      Array.for_all2 (fun x y -> Float.abs (Numerics.Spline.eval s x -. y) < 1e-9) xs ys)
+
+let spline_exact_on_lines =
+  Tutil.qcheck ~count:50 "spline reproduces straight lines"
+    QCheck2.Gen.(triple (float_range (-2.) 2.) (float_range (-5.) 5.) (int_range 0 1000))
+    (fun (slope, intercept, seed) ->
+      let rng = Tutil.rng_of_seed seed in
+      let xs = Array.init 10 (fun i -> float_of_int i) in
+      let ys = Array.map (fun x -> (slope *. x) +. intercept) xs in
+      let s = Numerics.Spline.fit ~xs ~ys in
+      List.for_all
+        (fun _ ->
+          let x = Prng.Sampler.uniform rng ~lo:0. ~hi:9. in
+          Float.abs (Numerics.Spline.eval s x -. ((slope *. x) +. intercept)) < 1e-9)
+        (List.init 20 Fun.id))
+
+let spline_smooth_function_accuracy () =
+  let xs = Numerics.Array_ops.linspace 0. Float.pi 21 in
+  let ys = Array.map sin xs in
+  let s = Numerics.Spline.fit ~xs ~ys in
+  List.iter
+    (fun x -> check_close_abs ~eps:1e-3 "sin approx" (sin x) (Numerics.Spline.eval s x))
+    [ 0.1; 0.7; 1.3; 2.2; 3.0 ]
+
+let spline_clamped_outside () =
+  let s = Numerics.Spline.fit ~xs:[| 0.; 1.; 2. |] ~ys:[| 1.; 4.; 9. |] in
+  check_close "below" 1. (Numerics.Spline.eval_clamped s (-5.));
+  check_close "above" 9. (Numerics.Spline.eval_clamped s 100.)
+
+let spline_rejects_bad_knots () =
+  let expect_invalid f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  expect_invalid (fun () -> Numerics.Spline.fit ~xs:[| 0.; 0. |] ~ys:[| 1.; 2. |]);
+  expect_invalid (fun () -> Numerics.Spline.fit ~xs:[| 1. |] ~ys:[| 1. |]);
+  expect_invalid (fun () -> Numerics.Spline.fit ~xs:[| 0.; 1. |] ~ys:[| 1. |])
+
+let spline_resample_identity () =
+  let xs = Numerics.Array_ops.linspace 0. 1. 11 in
+  let ys = Array.map (fun x -> x *. x) xs in
+  let got = Numerics.Spline.resample ~xs ~ys ~onto:xs in
+  Array.iteri (fun i v -> check_close "same grid" ys.(i) v) got
+
+(* --- Integrate --- *)
+
+let simpson_exact_cubics () =
+  let f x = (2. *. x *. x *. x) -. (x *. x) +. 3. in
+  let exact = (0.5 *. 16.) -. (8. /. 3.) +. 6. in
+  check_close "cubic" exact (Numerics.Integrate.simpson ~f ~a:0. ~b:2. ~n:64)
+
+let simpson_vs_trapezoid_convergence () =
+  let f x = exp x in
+  let exact = exp 1. -. 1. in
+  let s = Numerics.Integrate.simpson ~f ~a:0. ~b:1. ~n:16 in
+  let xs = Numerics.Array_ops.linspace 0. 1. 17 in
+  let t = Numerics.Integrate.trapezoid_sampled ~dx:(1. /. 16.) (Array.map f xs) in
+  Alcotest.(check bool) "simpson beats trapezoid" true
+    (Float.abs (s -. exact) < Float.abs (t -. exact))
+
+let simpson_sampled_odd_intervals () =
+  let ys = [| 0.; 1.; 2.; 3. |] in
+  check_close "linear" 4.5 (Numerics.Integrate.simpson_sampled ~dx:1. ys)
+
+let cumulative_matches_total () =
+  let ys = [| 1.; 3.; 2.; 5. |] in
+  let c = Numerics.Integrate.cumulative ~dx:0.5 ys in
+  check_close "starts at 0" 0. c.(0);
+  check_close "total" (Numerics.Integrate.trapezoid_sampled ~dx:0.5 ys) c.(3)
+
+let cumulative_monotone_for_positive =
+  Tutil.qcheck ~count:100 "cumulative of non-negative samples is monotone"
+    QCheck2.Gen.(pair (int_range 2 50) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Tutil.rng_of_seed seed in
+      let ys = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:0. ~hi:3.) in
+      let c = Numerics.Integrate.cumulative ~dx:0.1 ys in
+      let ok = ref true in
+      for i = 1 to n - 1 do
+        if c.(i) < c.(i - 1) then ok := false
+      done;
+      !ok)
+
+(* --- Special --- *)
+
+let erf_known_values () =
+  List.iter
+    (fun (x, want) ->
+      check_close_abs ~eps:2e-7 (Printf.sprintf "erf %g" x) want (Numerics.Special.erf x))
+    [ (0., 0.); (0.5, 0.5204998778); (1., 0.8427007929); (2., 0.9953222650);
+      (-1., -0.8427007929) ]
+
+let erfc_complement =
+  Tutil.qcheck ~count:100 "erf + erfc = 1" QCheck2.Gen.(float_range (-4.) 4.) (fun x ->
+      Float.abs (Numerics.Special.erf x +. Numerics.Special.erfc x -. 1.) < 1e-12)
+
+let normal_cdf_symmetry =
+  Tutil.qcheck ~count:100 "Φ(x) + Φ(−x) = 1" QCheck2.Gen.(float_range (-5.) 5.) (fun x ->
+      Float.abs (Numerics.Special.normal_cdf x +. Numerics.Special.normal_cdf (-.x) -. 1.)
+      < 1e-10)
+
+let normal_quantile_roundtrip =
+  Tutil.qcheck ~count:100 "Φ(Φ⁻¹(p)) = p" QCheck2.Gen.(float_range 0.001 0.999) (fun p ->
+      Float.abs (Numerics.Special.normal_cdf (Numerics.Special.normal_quantile p) -. p)
+      < 1e-6)
+
+let normal_quantile_known () =
+  check_close_abs ~eps:1e-6 "median" 0. (Numerics.Special.normal_quantile 0.5);
+  check_close_abs ~eps:1e-4 "97.5%" 1.959964 (Numerics.Special.normal_quantile 0.975);
+  check_close_abs ~eps:1e-4 "1%" (-2.326348) (Numerics.Special.normal_quantile 0.01)
+
+let log_gamma_known () =
+  List.iter
+    (fun (x, want) ->
+      check_close ~eps:1e-10 (Printf.sprintf "lnΓ %g" x) want (Numerics.Special.log_gamma x))
+    [ (1., 0.); (2., 0.); (3., log 2.); (5., log 24.); (0.5, log (sqrt Float.pi)) ]
+
+let log_gamma_recurrence =
+  Tutil.qcheck ~count:100 "lnΓ(x+1) = lnΓ(x) + ln x" QCheck2.Gen.(float_range 0.1 20.)
+    (fun x ->
+      Float.abs
+        (Numerics.Special.log_gamma (x +. 1.) -. Numerics.Special.log_gamma x -. log x)
+      < 1e-9)
+
+let beta_pdf_integrates_to_one () =
+  let f = Numerics.Special.beta_pdf ~alpha:2. ~beta:5. in
+  check_close ~eps:1e-6 "mass" 1. (Numerics.Integrate.simpson ~f ~a:0. ~b:1. ~n:512)
+
+let gamma_pdf_integrates_to_one () =
+  let f = Numerics.Special.gamma_pdf ~shape:3. ~scale:2. in
+  check_close ~eps:1e-5 "mass" 1. (Numerics.Integrate.simpson ~f ~a:0. ~b:60. ~n:2048)
+
+let normal_pdf_peak () =
+  check_close "peak" (1. /. sqrt (2. *. Float.pi)) (Numerics.Special.normal_pdf 0.)
+
+let betainc_matches_quadrature =
+  Tutil.qcheck ~count:50 "betainc = ∫ beta_pdf"
+    QCheck2.Gen.(
+      triple (float_range 2. 6.) (float_range 2. 6.) (float_range 0.05 0.95))
+    (fun (alpha, beta, x) ->
+      (* smooth integrands only: near α or β = 1 the density's fractional
+         powers defeat Simpson's convergence long before betainc's *)
+      let want =
+        Numerics.Integrate.simpson
+          ~f:(Numerics.Special.beta_pdf ~alpha ~beta)
+          ~a:0. ~b:x ~n:4096
+      in
+      Float.abs (Numerics.Special.betainc ~alpha ~beta x -. want) < 1e-5)
+
+let betainc_symmetry =
+  Tutil.qcheck ~count:50 "I_x(a,b) = 1 − I_{1−x}(b,a)"
+    QCheck2.Gen.(
+      triple (float_range 0.5 8.) (float_range 0.5 8.) (float_range 0. 1.))
+    (fun (alpha, beta, x) ->
+      Float.abs
+        (Numerics.Special.betainc ~alpha ~beta x
+        +. Numerics.Special.betainc ~alpha:beta ~beta:alpha (1. -. x)
+        -. 1.)
+      < 1e-10)
+
+let betainc_endpoints () =
+  check_close "at 0" 0. (Numerics.Special.betainc ~alpha:2. ~beta:5. 0.);
+  check_close "at 1" 1. (Numerics.Special.betainc ~alpha:2. ~beta:5. 1.);
+  (* uniform: I_x(1,1) = x *)
+  check_close ~eps:1e-12 "uniform" 0.37 (Numerics.Special.betainc ~alpha:1. ~beta:1. 0.37)
+
+let betainc_inv_roundtrip =
+  Tutil.qcheck ~count:50 "betainc (betainc_inv p) = p"
+    QCheck2.Gen.(
+      triple (float_range 1.1 6.) (float_range 1.1 6.) (float_range 0.001 0.999))
+    (fun (alpha, beta, p) ->
+      let x = Numerics.Special.betainc_inv ~alpha ~beta p in
+      Float.abs (Numerics.Special.betainc ~alpha ~beta x -. p) < 1e-9)
+
+let betainc_inv_median_beta25 () =
+  (* median of Beta(2,5) ≈ 0.26445 *)
+  check_close_abs ~eps:1e-4 "median" 0.26445
+    (Numerics.Special.betainc_inv ~alpha:2. ~beta:5. 0.5)
+
+(* --- Rootfind --- *)
+
+let brent_finds_root =
+  Tutil.qcheck ~count:100 "brent solves x³ = c" QCheck2.Gen.(float_range 0.01 50.)
+    (fun c ->
+      let f x = (x *. x *. x) -. c in
+      let root = Numerics.Rootfind.brent ~f ~lo:0. ~hi:10. () in
+      Float.abs (root -. Float.cbrt c) < 1e-9)
+
+let bisect_finds_root () =
+  let f x = cos x in
+  let root = Numerics.Rootfind.bisect ~f ~lo:0. ~hi:3. () in
+  check_close_abs ~eps:1e-9 "pi/2" (Float.pi /. 2.) root
+
+let brent_matches_bisect =
+  Tutil.qcheck ~count:50 "brent = bisect" QCheck2.Gen.(float_range (-0.9) 0.9)
+    (fun target ->
+      let f x = tanh x -. target in
+      let a = Numerics.Rootfind.brent ~f ~lo:(-5.) ~hi:5. () in
+      let b = Numerics.Rootfind.bisect ~f ~lo:(-5.) ~hi:5. () in
+      Float.abs (a -. b) < 1e-8)
+
+let rootfind_rejects_bad_bracket () =
+  Alcotest.check_raises "no bracket"
+    (Invalid_argument "Rootfind: interval does not bracket a root") (fun () ->
+      ignore (Numerics.Rootfind.brent ~f:(fun x -> (x *. x) +. 1.) ~lo:(-1.) ~hi:1. ()))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "numerics"
+    [
+      ( "array_ops",
+        [
+          tc "linspace" `Quick linspace_endpoints;
+          tc "kahan sum" `Quick kahan_sum_precision;
+          tc "next_pow2" `Quick next_pow2_values;
+          tc "argmax/max/min" `Quick argmax_max_min;
+          tc "dot" `Quick dot_product;
+        ] );
+      ( "fft",
+        [
+          fft_matches_naive;
+          fft_roundtrip;
+          tc "impulse" `Quick fft_impulse;
+          tc "rejects non-pow2" `Quick fft_rejects_non_pow2;
+        ] );
+      ( "convolution",
+        [
+          conv_fft_matches_direct;
+          conv_overlap_add_matches_direct;
+          conv_auto_matches_direct;
+          tc "known value" `Quick conv_known_value;
+          conv_commutative;
+          tc "overlap-add blocks" `Quick conv_overlap_add_block_sizes;
+        ] );
+      ( "spline",
+        [
+          spline_interpolates_knots;
+          spline_exact_on_lines;
+          tc "smooth accuracy" `Quick spline_smooth_function_accuracy;
+          tc "clamped" `Quick spline_clamped_outside;
+          tc "bad knots" `Quick spline_rejects_bad_knots;
+          tc "resample identity" `Quick spline_resample_identity;
+        ] );
+      ( "integrate",
+        [
+          tc "simpson cubic exact" `Quick simpson_exact_cubics;
+          tc "simpson beats trapezoid" `Quick simpson_vs_trapezoid_convergence;
+          tc "odd intervals" `Quick simpson_sampled_odd_intervals;
+          tc "cumulative total" `Quick cumulative_matches_total;
+          cumulative_monotone_for_positive;
+        ] );
+      ( "special",
+        [
+          tc "erf values" `Quick erf_known_values;
+          erfc_complement;
+          normal_cdf_symmetry;
+          normal_quantile_roundtrip;
+          tc "quantile values" `Quick normal_quantile_known;
+          tc "log_gamma values" `Quick log_gamma_known;
+          log_gamma_recurrence;
+          tc "beta pdf mass" `Quick beta_pdf_integrates_to_one;
+          tc "gamma pdf mass" `Quick gamma_pdf_integrates_to_one;
+          tc "normal pdf peak" `Quick normal_pdf_peak;
+          betainc_matches_quadrature;
+          betainc_symmetry;
+          tc "betainc endpoints" `Quick betainc_endpoints;
+          betainc_inv_roundtrip;
+          tc "betainc_inv median" `Quick betainc_inv_median_beta25;
+        ] );
+      ( "rootfind",
+        [
+          brent_finds_root;
+          tc "bisect" `Quick bisect_finds_root;
+          brent_matches_bisect;
+          tc "bad bracket" `Quick rootfind_rejects_bad_bracket;
+        ] );
+    ]

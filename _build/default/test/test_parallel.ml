@@ -1,0 +1,71 @@
+(* Parallel fan-out suites: chunk coverage, exception propagation,
+   determinism with respect to domain count. *)
+
+let pool_covers_all_chunks () =
+  let n = 100 in
+  let hit = Array.make n 0 in
+  Parallel.Pool.run ~domains:3 ~chunks:n (fun c -> hit.(c) <- hit.(c) + 1);
+  Array.iteri
+    (fun i c -> Alcotest.(check int) (Printf.sprintf "chunk %d once" i) 1 c)
+    hit
+
+let pool_zero_chunks () = Parallel.Pool.run ~domains:2 ~chunks:0 (fun _ -> assert false)
+
+let pool_single_domain () =
+  let acc = ref 0 in
+  Parallel.Pool.run ~domains:1 ~chunks:10 (fun c -> acc := !acc + c);
+  Alcotest.(check int) "sum" 45 !acc
+
+let pool_propagates_exception () =
+  Alcotest.check_raises "failure" (Failure "boom") (fun () ->
+      Parallel.Pool.run ~domains:2 ~chunks:8 (fun c -> if c = 3 then failwith "boom"))
+
+let pool_rejects_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Pool.run: negative chunk count")
+    (fun () -> Parallel.Pool.run ~chunks:(-1) (fun _ -> ()))
+
+let par_array_matches_sequential =
+  Tutil.qcheck ~count:50 "Par_array.init = Array.init"
+    QCheck2.Gen.(pair (int_range 0 500) (int_range 1 4))
+    (fun (n, domains) ->
+      let f i = (i * 37) mod 101 in
+      Parallel.Par_array.init ~domains ~chunk_size:13 n f = Array.init n f)
+
+let par_array_map () =
+  let a = Array.init 257 float_of_int in
+  let got = Parallel.Par_array.map ~domains:2 (fun x -> x *. 2.) a in
+  Alcotest.(check bool) "doubles" true (got = Array.map (fun x -> x *. 2.) a)
+
+let par_array_empty () =
+  Alcotest.(check int) "empty" 0 (Array.length (Parallel.Par_array.init 0 (fun _ -> 0)))
+
+let par_array_domain_count_irrelevant () =
+  let f i = float_of_int (i * i) /. 7. in
+  let one = Parallel.Par_array.init ~domains:1 1000 f in
+  let four = Parallel.Par_array.init ~domains:4 1000 f in
+  Alcotest.(check bool) "identical" true (one = four)
+
+let default_domains_positive () =
+  Alcotest.(check bool) "at least 1" true (Parallel.Pool.default_domains () >= 1)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          tc "covers all chunks" `Quick pool_covers_all_chunks;
+          tc "zero chunks" `Quick pool_zero_chunks;
+          tc "single domain" `Quick pool_single_domain;
+          tc "exception" `Quick pool_propagates_exception;
+          tc "negative" `Quick pool_rejects_negative;
+          tc "default domains" `Quick default_domains_positive;
+        ] );
+      ( "par_array",
+        [
+          par_array_matches_sequential;
+          tc "map" `Quick par_array_map;
+          tc "empty" `Quick par_array_empty;
+          tc "domain independence" `Quick par_array_domain_count_irrelevant;
+        ] );
+    ]

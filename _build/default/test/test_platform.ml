@@ -1,0 +1,178 @@
+(* Platform suites: validation, communication model, generators. *)
+
+let check_close = Tutil.check_close
+
+let simple_platform () =
+  Platform.make
+    ~etc:[| [| 10.; 20. |]; [| 30.; 15. |] |]
+    ~tau:[| [| 0.; 2. |]; [| 3.; 0. |] |]
+    ~latency:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+
+let accessors () =
+  let p = simple_platform () in
+  Alcotest.(check int) "procs" 2 (Platform.n_procs p);
+  Alcotest.(check int) "tasks" 2 (Platform.n_tasks p);
+  check_close "etc" 20. (Platform.etc p ~task:0 ~proc:1);
+  check_close "tau" 3. (Platform.tau p ~src:1 ~dst:0);
+  check_close "latency" 1. (Platform.latency p ~src:0 ~dst:1)
+
+let comm_time_model () =
+  let p = simple_platform () in
+  (* latency + volume·τ *)
+  check_close "cross" (1. +. (5. *. 2.)) (Platform.comm_time p ~src:0 ~dst:1 ~volume:5.);
+  check_close "same proc free" 0. (Platform.comm_time p ~src:1 ~dst:1 ~volume:100.)
+
+let mean_etc_and_best_proc () =
+  let p = simple_platform () in
+  check_close "mean row 0" 15. (Platform.mean_etc p ~task:0);
+  check_close "mean row 1" 22.5 (Platform.mean_etc p ~task:1);
+  Alcotest.(check int) "best for task 0" 0 (Platform.best_proc p ~task:0);
+  Alcotest.(check int) "best for task 1" 1 (Platform.best_proc p ~task:1)
+
+let mean_network () =
+  let p = simple_platform () in
+  check_close "mean tau" 2.5 (Platform.mean_tau p);
+  check_close "mean latency" 1. (Platform.mean_latency p)
+
+let single_proc_network_means () =
+  let p =
+    Platform.make ~etc:[| [| 5. |] |] ~tau:[| [| 0. |] |] ~latency:[| [| 0. |] |]
+  in
+  check_close "mean tau" 0. (Platform.mean_tau p);
+  check_close "mean latency" 0. (Platform.mean_latency p)
+
+let validation () =
+  let expect f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  let tau = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  (* non-zero diagonal *)
+  expect (fun () ->
+      Platform.make ~etc:[| [| 1.; 1. |] |] ~tau:[| [| 1.; 1. |]; [| 1.; 0. |] |]
+        ~latency:tau);
+  (* non-positive computation time *)
+  expect (fun () -> Platform.make ~etc:[| [| 0.; 1. |] |] ~tau ~latency:tau);
+  (* ragged ETC *)
+  expect (fun () -> Platform.make ~etc:[| [| 1.; 1. |]; [| 1. |] |] ~tau ~latency:tau);
+  (* negative tau *)
+  expect (fun () ->
+      Platform.make ~etc:[| [| 1.; 1. |] |] ~tau:[| [| 0.; -1. |]; [| 1.; 0. |] |]
+        ~latency:tau);
+  (* empty *)
+  expect (fun () -> Platform.make ~etc:[||] ~tau ~latency:tau)
+
+(* --- generators --- *)
+
+let cvb_shape_and_positivity () =
+  let rng = Tutil.rng_of_seed 1 in
+  let p =
+    Platform.Gen.cvb ~rng ~n_tasks:50 ~n_procs:8 ~mu_task:20. ~v_task:0.5 ~v_mach:0.5 ()
+  in
+  Alcotest.(check int) "tasks" 50 (Platform.n_tasks p);
+  Alcotest.(check int) "procs" 8 (Platform.n_procs p);
+  for t = 0 to 49 do
+    for q = 0 to 7 do
+      Alcotest.(check bool) "positive etc" true (Platform.etc p ~task:t ~proc:q > 0.)
+    done
+  done
+
+let cvb_mean_scale () =
+  (* grand mean of the ETC matrix should be near μ_task *)
+  let rng = Tutil.rng_of_seed 2 in
+  let p =
+    Platform.Gen.cvb ~rng ~n_tasks:400 ~n_procs:8 ~mu_task:20. ~v_task:0.5 ~v_mach:0.5 ()
+  in
+  let acc = ref 0. in
+  for t = 0 to 399 do
+    acc := !acc +. Platform.mean_etc p ~task:t
+  done;
+  check_close ~eps:0.1 "grand mean" 20. (!acc /. 400.)
+
+let cvb_zero_cv_is_constant () =
+  let rng = Tutil.rng_of_seed 3 in
+  let p =
+    Platform.Gen.cvb ~rng ~n_tasks:5 ~n_procs:3 ~mu_task:20. ~v_task:0. ~v_mach:0. ()
+  in
+  for t = 0 to 4 do
+    for q = 0 to 2 do
+      check_close "constant" 20. (Platform.etc p ~task:t ~proc:q)
+    done
+  done
+
+let uniform_minval_range () =
+  let rng = Tutil.rng_of_seed 4 in
+  let p =
+    Platform.Gen.uniform_minval ~rng ~n_tasks:100 ~n_procs:4 ~minval_lo:10. ~minval_hi:30.
+      ()
+  in
+  for t = 0 to 99 do
+    (* each row lies within [minVal, 2·minVal] ⊆ [10, 60] *)
+    let row = Array.init 4 (fun q -> Platform.etc p ~task:t ~proc:q) in
+    let lo = Array.fold_left Float.min row.(0) row in
+    let hi = Array.fold_left Float.max row.(0) row in
+    Alcotest.(check bool) "row bounds" true (lo >= 10. && hi <= 60.);
+    Alcotest.(check bool) "within factor 2" true (hi <= 2. *. lo +. 1e-9)
+  done
+
+let generators_deterministic () =
+  let p1 =
+    Platform.Gen.uniform_minval ~rng:(Tutil.rng_of_seed 7) ~n_tasks:10 ~n_procs:3 ()
+  in
+  let p2 =
+    Platform.Gen.uniform_minval ~rng:(Tutil.rng_of_seed 7) ~n_tasks:10 ~n_procs:3 ()
+  in
+  for t = 0 to 9 do
+    for q = 0 to 2 do
+      check_close "same seed same platform" (Platform.etc p1 ~task:t ~proc:q)
+        (Platform.etc p2 ~task:t ~proc:q)
+    done
+  done
+
+let heterogeneous_network_bounds () =
+  let rng = Tutil.rng_of_seed 8 in
+  let p = Platform.Gen.cvb ~rng ~n_tasks:5 ~n_procs:4 ~mu_task:20. ~v_task:0.5 ~v_mach:0.5 () in
+  let p' = Platform.Gen.heterogeneous_network ~rng ~tau_lo:1. ~tau_hi:3. p in
+  for i = 0 to 3 do
+    check_close "diag zero" 0. (Platform.tau p' ~src:i ~dst:i);
+    for j = 0 to 3 do
+      if i <> j then begin
+        let t = Platform.tau p' ~src:i ~dst:j in
+        Alcotest.(check bool) "tau in range" true (t >= 1. && t <= 3.)
+      end
+    done
+  done;
+  (* ETC preserved *)
+  check_close "etc kept" (Platform.etc p ~task:0 ~proc:0) (Platform.etc p' ~task:0 ~proc:0)
+
+let default_comm_latency_zero () =
+  let rng = Tutil.rng_of_seed 9 in
+  let p = Platform.Gen.cvb ~rng ~n_tasks:3 ~n_procs:2 ~mu_task:20. ~v_task:0.5 ~v_mach:0.5 () in
+  check_close "tau default" 1. (Platform.tau p ~src:0 ~dst:1);
+  check_close "latency default" 0. (Platform.latency p ~src:0 ~dst:1)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "platform"
+    [
+      ( "model",
+        [
+          tc "accessors" `Quick accessors;
+          tc "comm_time" `Quick comm_time_model;
+          tc "mean etc / best proc" `Quick mean_etc_and_best_proc;
+          tc "mean network" `Quick mean_network;
+          tc "single proc" `Quick single_proc_network_means;
+          tc "validation" `Quick validation;
+        ] );
+      ( "generators",
+        [
+          tc "cvb shape" `Quick cvb_shape_and_positivity;
+          tc "cvb mean" `Quick cvb_mean_scale;
+          tc "cvb cv=0" `Quick cvb_zero_cv_is_constant;
+          tc "uniform_minval range" `Quick uniform_minval_range;
+          tc "deterministic" `Quick generators_deterministic;
+          tc "heterogeneous network" `Quick heterogeneous_network_bounds;
+          tc "defaults" `Quick default_comm_latency_zero;
+        ] );
+    ]

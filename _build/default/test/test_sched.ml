@@ -1,0 +1,617 @@
+(* Scheduling suites: schedule representation, eager simulation,
+   disjunctive graphs, slack, random schedules and the four heuristics. *)
+
+let check_close = Tutil.check_close
+
+(* a 4-task diamond with unit volumes *)
+let diamond = Dag.Graph.make ~n:4 ~edges:[ (0, 1, 1.); (0, 2, 1.); (1, 3, 1.); (2, 3, 1.) ]
+
+let two_proc_platform () =
+  (* homogeneous 2 procs, etc 10 everywhere, tau 2, latency 0 *)
+  Platform.make
+    ~etc:(Array.make_matrix 4 2 10.)
+    ~tau:[| [| 0.; 2. |]; [| 2.; 0. |] |]
+    ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+
+(* --- Schedule --- *)
+
+let make_valid_schedule () =
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  Alcotest.(check int) "tasks" 4 (Sched.Schedule.n_tasks s);
+  Alcotest.(check (option int)) "proc pred of 1" (Some 0) (Sched.Schedule.proc_pred s 1);
+  Alcotest.(check (option int)) "proc pred of 0" None (Sched.Schedule.proc_pred s 0);
+  Alcotest.(check (option int)) "proc succ of 1" (Some 3) (Sched.Schedule.proc_succ s 1);
+  Alcotest.(check (option int)) "proc succ of 3" None (Sched.Schedule.proc_succ s 3);
+  Alcotest.(check (array int)) "proc 1 tasks" [| 2 |] (Sched.Schedule.tasks_of_proc s 1)
+
+let schedule_validation () =
+  let expect msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" msg
+  in
+  expect "task twice" (fun () ->
+      Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+        ~order:[| [| 0; 1; 1 |]; [| 2 |] |]);
+  expect "missing task" (fun () ->
+      Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+        ~order:[| [| 0; 1 |]; [| 2 |] |]);
+  expect "order vs proc_of" (fun () ->
+      Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 0; 0 |]
+        ~order:[| [| 0; 1; 3 |]; [| 2 |] |]);
+  (* precedence deadlock: 3 before 1 on the same processor while 1 → 3 *)
+  expect "deadlock" (fun () ->
+      Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+        ~order:[| [| 3; 0; 1 |]; [| 2 |] |])
+
+let serialization_roundtrip =
+  Tutil.qcheck ~count:100 "to_string/of_string round-trips" Tutil.random_scheduled_gen
+    (fun (graph, _, sched) ->
+      let s = Sched.Schedule.to_string sched in
+      let back = Sched.Schedule.of_string ~graph s in
+      back.Sched.Schedule.proc_of = sched.Sched.Schedule.proc_of
+      && back.Sched.Schedule.order = sched.Sched.Schedule.order)
+
+let serialization_rejects_garbage () =
+  let expect s =
+    match Sched.Schedule.of_string ~graph:diamond s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "accepted %S" s
+  in
+  expect "";
+  expect "p0 0 1 2 3";
+  expect "p1: 0 1 2 3";
+  expect "p0: 0 1 2 99";
+  expect "p0: 0 1 x 3"
+
+let of_assignment_sequence_builds () =
+  let s =
+    Sched.Schedule.of_assignment_sequence ~graph:diamond ~n_procs:2
+      [ (0, 0); (2, 1); (1, 0); (3, 0) ]
+  in
+  Alcotest.(check (array int)) "proc 0 order" [| 0; 1; 3 |] (Sched.Schedule.tasks_of_proc s 0)
+
+(* --- Simulator --- *)
+
+let eager_times_hand_computed () =
+  (* proc0: 0, 1, 3; proc1: 2. etc 10, comm = volume·2 = 2 cross.
+     start0=0 f=10; task2 on p1: start = 10+2 = 12, f=22;
+     task1 on p0: start = 10 (no comm same proc), f=20;
+     task3 on p0: preds 1 (f=20, same proc), 2 (f=22 +2 comm = 24); proc pred 1 → 20.
+     start3 = 24, f=34. *)
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  let t = Sched.Simulator.deterministic s (two_proc_platform ()) in
+  check_close "start 0" 0. t.Sched.Simulator.start.(0);
+  check_close "finish 0" 10. t.Sched.Simulator.finish.(0);
+  check_close "start 2" 12. t.Sched.Simulator.start.(2);
+  check_close "start 1" 10. t.Sched.Simulator.start.(1);
+  check_close "start 3" 24. t.Sched.Simulator.start.(3);
+  check_close "makespan" 34. t.Sched.Simulator.makespan
+
+let eager_times_with_latency () =
+  (* nonzero latency: comm = latency + volume·τ = 3 + 1·2 = 5 *)
+  let p =
+    Platform.make
+      ~etc:(Array.make_matrix 4 2 10.)
+      ~tau:[| [| 0.; 2. |]; [| 2.; 0. |] |]
+      ~latency:[| [| 0.; 3. |]; [| 3.; 0. |] |]
+  in
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  let t = Sched.Simulator.deterministic s p in
+  (* task 2 on p1: start = 10 + 5 = 15, finish 25; arrival at 3 = 25 + 5 = 30 *)
+  check_close "start 2" 15. t.Sched.Simulator.start.(2);
+  check_close "start 3" 30. t.Sched.Simulator.start.(3);
+  check_close "makespan" 40. t.Sched.Simulator.makespan
+
+let single_proc_chain_makespan () =
+  (* on one processor the makespan is the sum of all durations *)
+  let g = Workloads.Classic.chain ~n:5 () in
+  let p =
+    Platform.make ~etc:(Array.make_matrix 5 1 3.) ~tau:[| [| 0. |] |]
+      ~latency:[| [| 0. |] |]
+  in
+  let s =
+    Sched.Schedule.make ~graph:g ~n_procs:1 ~proc_of:(Array.make 5 0)
+      ~order:[| [| 0; 1; 2; 3; 4 |] |]
+  in
+  check_close "sum" 15. (Sched.Simulator.deterministic s p).Sched.Simulator.makespan
+
+let eager_no_overlap_and_precedence =
+  Tutil.qcheck ~count:100 "eager times respect processor exclusivity and precedence"
+    Tutil.random_scheduled_gen
+    (fun (graph, platform, sched) ->
+      let t = Sched.Simulator.deterministic sched platform in
+      let ok = ref true in
+      (* precedence + communication *)
+      Array.iter
+        (fun (u, v, volume) ->
+          let src = sched.Sched.Schedule.proc_of.(u)
+          and dst = sched.Sched.Schedule.proc_of.(v) in
+          let arrival =
+            t.Sched.Simulator.finish.(u) +. Platform.comm_time platform ~src ~dst ~volume
+          in
+          if t.Sched.Simulator.start.(v) < arrival -. 1e-9 then ok := false)
+        (Dag.Graph.edges graph);
+      (* processor order *)
+      for v = 0 to Dag.Graph.n_tasks graph - 1 do
+        match Sched.Schedule.proc_pred sched v with
+        | Some u ->
+          if t.Sched.Simulator.start.(v) < t.Sched.Simulator.finish.(u) -. 1e-9 then
+            ok := false
+        | None -> ()
+      done;
+      !ok)
+
+let eager_starts_are_tight =
+  (* eagerness: each start equals the max of its constraints exactly *)
+  Tutil.qcheck ~count:100 "eager starts are as early as possible"
+    Tutil.random_scheduled_gen
+    (fun (graph, platform, sched) ->
+      let t = Sched.Simulator.deterministic sched platform in
+      let ok = ref true in
+      for v = 0 to Dag.Graph.n_tasks graph - 1 do
+        let bound = ref 0. in
+        (match Sched.Schedule.proc_pred sched v with
+        | Some u -> bound := t.Sched.Simulator.finish.(u)
+        | None -> ());
+        Array.iter
+          (fun (u, volume) ->
+            let src = sched.Sched.Schedule.proc_of.(u)
+            and dst = sched.Sched.Schedule.proc_of.(v) in
+            let a =
+              t.Sched.Simulator.finish.(u) +. Platform.comm_time platform ~src ~dst ~volume
+            in
+            if a > !bound then bound := a)
+          (Dag.Graph.preds graph v);
+        if Float.abs (t.Sched.Simulator.start.(v) -. !bound) > 1e-9 then ok := false
+      done;
+      !ok)
+
+let mean_times_above_deterministic =
+  Tutil.qcheck ~count:50 "mean-duration makespan >= deterministic (UL >= 1)"
+    Tutil.random_scheduled_gen
+    (fun (_, platform, sched) ->
+      let model = Workloads.Stochastify.make ~ul:1.3 () in
+      let det = (Sched.Simulator.deterministic sched platform).Sched.Simulator.makespan in
+      let mean = (Sched.Simulator.mean_times sched platform model).Sched.Simulator.makespan in
+      mean >= det -. 1e-9)
+
+let sampled_within_bounds =
+  Tutil.qcheck ~count:30 "sampled makespan within [det, det·UL]"
+    Tutil.random_scheduled_gen
+    (fun (_, platform, sched) ->
+      let ul = 1.2 in
+      let model = Workloads.Stochastify.make ~ul () in
+      let rng = Tutil.rng_of_seed 5 in
+      let det = (Sched.Simulator.deterministic sched platform).Sched.Simulator.makespan in
+      let s = (Sched.Simulator.sampled sched platform model ~rng).Sched.Simulator.makespan in
+      s >= det -. 1e-9 && s <= (det *. ul) +. 1e-9)
+
+(* --- Disjunctive --- *)
+
+let disjunctive_adds_proc_edges () =
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  let dg = Sched.Disjunctive.graph_of s in
+  (* 0→1 and 1→3 already exist as DAG edges, so only... 0→1 exists, 1→3 exists:
+     no new edges on proc 0; proc 1 has a single task *)
+  Alcotest.(check int) "no duplicate edges" 4 (Dag.Graph.n_edges dg);
+  let s2 =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 0; 0 |]
+      ~order:[| [| 0; 2; 1; 3 |]; [||] |]
+  in
+  let dg2 = Sched.Disjunctive.graph_of s2 in
+  (* adds 2→1 (not a DAG edge); 0→2 and 1→3 already exist *)
+  Alcotest.(check int) "adds 2->1" 5 (Dag.Graph.n_edges dg2);
+  Alcotest.(check bool) "edge present" true (Dag.Graph.has_edge dg2 ~src:2 ~dst:1)
+
+let disjunctive_makespan_matches_simulator =
+  Tutil.qcheck ~count:100 "longest path of disjunctive graph = eager makespan"
+    Tutil.random_scheduled_gen
+    (fun (_, platform, sched) ->
+      let model = Workloads.Stochastify.deterministic in
+      let dg = Sched.Disjunctive.graph_of sched in
+      let w = Sched.Disjunctive.weights sched platform model in
+      let lp = Dag.Levels.makespan dg w in
+      let sim = (Sched.Simulator.deterministic sched platform).Sched.Simulator.makespan in
+      Float.abs (lp -. sim) < 1e-6)
+
+(* --- Slack --- *)
+
+let slack_chain_is_zero () =
+  (* all tasks on one processor: every task critical, zero slack *)
+  let g = Workloads.Classic.chain ~n:4 () in
+  let p =
+    Platform.make ~etc:(Array.make_matrix 4 1 5.) ~tau:[| [| 0. |] |]
+      ~latency:[| [| 0. |] |]
+  in
+  let s =
+    Sched.Schedule.make ~graph:g ~n_procs:1 ~proc_of:(Array.make 4 0)
+      ~order:[| [| 0; 1; 2; 3 |] |]
+  in
+  let slack = Sched.Slack.compute s p Workloads.Stochastify.deterministic in
+  check_close "total" 0. slack.Sched.Slack.total;
+  check_close "std" 0. slack.Sched.Slack.std;
+  check_close "makespan" 20. slack.Sched.Slack.makespan
+
+let slack_idle_task_has_window () =
+  (* two independent tasks of different lengths on two procs + join *)
+  let g = Dag.Graph.make ~n:3 ~edges:[ (0, 2, 0.); (1, 2, 0.) ] in
+  let p =
+    Platform.make
+      ~etc:[| [| 10.; 10. |]; [| 4.; 4. |]; [| 1.; 1. |] |]
+      ~tau:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  let s =
+    Sched.Schedule.make ~graph:g ~n_procs:2 ~proc_of:[| 0; 1; 0 |]
+      ~order:[| [| 0; 2 |]; [| 1 |] |]
+  in
+  let slack = Sched.Slack.compute s p Workloads.Stochastify.deterministic in
+  (* task 1 can slip by 10 − 4 = 6 *)
+  check_close "short task slack" 6. slack.Sched.Slack.per_task.(1);
+  check_close "critical slack" 0. slack.Sched.Slack.per_task.(0);
+  check_close "total" 6. slack.Sched.Slack.total
+
+let slack_modes_differ_on_serialized () =
+  (* a serialized schedule: zero disjunctive slack, big precedence slack *)
+  let g = Dag.Graph.make ~n:3 ~edges:[ (0, 2, 0.); (1, 2, 0.) ] in
+  let p =
+    Platform.make
+      ~etc:(Array.make_matrix 3 2 10.)
+      ~tau:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  let s =
+    Sched.Schedule.make ~graph:g ~n_procs:2 ~proc_of:[| 0; 0; 0 |]
+      ~order:[| [| 0; 1; 2 |]; [||] |]
+  in
+  let dis = Sched.Slack.compute ~mode:`Disjunctive s p Workloads.Stochastify.deterministic in
+  let pre = Sched.Slack.compute ~mode:`Precedence s p Workloads.Stochastify.deterministic in
+  check_close "disjunctive zero" 0. dis.Sched.Slack.total;
+  Alcotest.(check bool) "precedence positive" true (pre.Sched.Slack.total > 1.)
+
+let slack_nonnegative =
+  Tutil.qcheck ~count:100 "slacks are non-negative in both modes"
+    Tutil.random_scheduled_gen
+    (fun (_, platform, sched) ->
+      let model = Workloads.Stochastify.make ~ul:1.1 () in
+      List.for_all
+        (fun mode ->
+          let s = Sched.Slack.compute ~mode sched platform model in
+          Array.for_all (fun x -> x >= 0.) s.Sched.Slack.per_task)
+        [ `Disjunctive; `Precedence ])
+
+(* --- Random_sched --- *)
+
+let random_schedules_valid =
+  Tutil.qcheck ~count:100 "random schedules validate" Tutil.random_dag_gen (fun g ->
+      let rng = Tutil.rng_of_seed (Dag.Graph.n_tasks g) in
+      let s = Sched.Random_sched.generate ~rng ~graph:g ~n_procs:3 in
+      (* Schedule.make validates internally; run the simulator too *)
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+
+let random_schedules_distinct () =
+  let g = Workloads.Cholesky.generate ~tiles:4 () in
+  let rng = Tutil.rng_of_seed 10 in
+  let ss = Sched.Random_sched.generate_many ~rng ~graph:g ~n_procs:4 ~count:20 in
+  let distinct =
+    List.length
+      (List.sort_uniq compare
+         (List.map (fun s -> Array.to_list s.Sched.Schedule.proc_of) ss))
+  in
+  Alcotest.(check bool) "mostly distinct" true (distinct > 15)
+
+(* --- Heuristics --- *)
+
+let heuristics =
+  [ ("heft", fun g p -> Sched.Heft.schedule g p); ("bil", Sched.Bil.schedule);
+    ("bmct", Sched.Bmct.schedule); ("cpop", Sched.Cpop.schedule);
+    ("dls", Sched.Dls.schedule) ]
+
+let heuristics_produce_valid_schedules =
+  Tutil.qcheck ~count:50 "heuristic schedules validate and simulate"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 123 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      List.for_all
+        (fun (_, h) ->
+          let s = h g p in
+          (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+        heuristics)
+
+let heuristics_beat_random_on_average () =
+  let rng = Tutil.rng_of_seed 2024 in
+  let g = Workloads.Cholesky.generate ~tiles:4 () in
+  let p = Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:4 () in
+  let randoms = Sched.Random_sched.generate_many ~rng ~graph:g ~n_procs:4 ~count:50 in
+  let mk s = (Sched.Simulator.deterministic s p).Sched.Simulator.makespan in
+  let avg_random =
+    List.fold_left (fun acc s -> acc +. mk s) 0. randoms /. 50.
+  in
+  List.iter
+    (fun (name, h) ->
+      let m = mk (h g p) in
+      Alcotest.(check bool) (name ^ " beats random average") true (m < avg_random))
+    heuristics
+
+let heft_single_proc_is_serial () =
+  let g = Workloads.Classic.chain ~n:4 () in
+  let p =
+    Platform.make ~etc:(Array.make_matrix 4 1 2.) ~tau:[| [| 0. |] |]
+      ~latency:[| [| 0. |] |]
+  in
+  let s = Sched.Heft.schedule g p in
+  check_close "serial sum" 8. (Sched.Simulator.deterministic s p).Sched.Simulator.makespan
+
+let heft_ranks_decrease_along_edges =
+  Tutil.qcheck ~count:50 "upward rank strictly decreases along edges"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 9 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:2 ()
+      in
+      let ranks = Sched.Heft.upward_ranks g p in
+      Array.for_all (fun (u, v, _) -> ranks.(u) > ranks.(v)) (Dag.Graph.edges g))
+
+let heft_prefers_fast_processor () =
+  (* a single task must go to its fastest processor *)
+  let g = Dag.Graph.make ~n:1 ~edges:[] in
+  let p =
+    Platform.make ~etc:[| [| 10.; 2. |] |] ~tau:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  let s = Sched.Heft.schedule g p in
+  Alcotest.(check int) "fast proc" 1 s.Sched.Schedule.proc_of.(0)
+
+let heft_insertion_fills_gap () =
+  (* task 2 (independent, short) should slot into the idle gap on proc 0
+     created while task 1's data travels *)
+  let g = Dag.Graph.make ~n:3 ~edges:[ (0, 1, 10.) ] in
+  let p =
+    Platform.make
+      ~etc:[| [| 4.; 100. |]; [| 4.; 100. |]; [| 3.; 100. |] |]
+      ~tau:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  let s = Sched.Heft.schedule g p in
+  (* all on proc 0 (proc 1 is terrible); insertion lets 2 run between 0 and 1 *)
+  Alcotest.(check int) "task2 proc" 0 s.Sched.Schedule.proc_of.(2);
+  let t = Sched.Simulator.deterministic s p in
+  Alcotest.(check bool) "no idle wasted" true (t.Sched.Simulator.makespan <= 11.01)
+
+let heft_rank_policies_all_valid =
+  Tutil.qcheck ~count:30 "HEFT rank variants all produce valid schedules"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 19 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      List.for_all
+        (fun rank ->
+          let s = Sched.Heft.schedule ~rank g p in
+          (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+        [ `Mean; `Best; `Worst ])
+
+let heft_rank_policies_order_weights () =
+  (* on each task: best <= mean <= worst collapsed cost *)
+  let g = diamond in
+  let rng = Tutil.rng_of_seed 20 in
+  let p = Platform.Gen.uniform_minval ~rng ~n_tasks:4 ~n_procs:3 () in
+  let wb = Sched.Heft.average_weights ~rank:`Best g p in
+  let wm = Sched.Heft.average_weights ~rank:`Mean g p in
+  let ww = Sched.Heft.average_weights ~rank:`Worst g p in
+  for v = 0 to 3 do
+    Alcotest.(check bool) "ordering" true
+      (wb.Dag.Levels.task v <= wm.Dag.Levels.task v
+      && wm.Dag.Levels.task v <= ww.Dag.Levels.task v)
+  done
+
+let bil_levels_at_exits () =
+  (* BIL(exit, p) = w(exit, p) *)
+  let g = diamond in
+  let p = two_proc_platform () in
+  let levels = Sched.Bil.bil g p in
+  check_close "exit level p0" 10. levels.(3).(0);
+  check_close "exit level p1" 10. levels.(3).(1)
+
+let bil_levels_monotone () =
+  (* BIL of an ancestor exceeds that of its descendants (positive weights) *)
+  let g = diamond in
+  let p = two_proc_platform () in
+  let levels = Sched.Bil.bil g p in
+  Alcotest.(check bool) "entry > exit" true (levels.(0).(0) > levels.(3).(0))
+
+let bmct_groups_are_independent =
+  Tutil.qcheck ~count:50 "BMCT groups contain no dependent pair" Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 11 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      let groups = Sched.Bmct.groups g p in
+      List.for_all
+        (fun group ->
+          List.for_all
+            (fun u ->
+              List.for_all
+                (fun v ->
+                  u = v
+                  || not
+                       (Dag.Graph.has_edge g ~src:u ~dst:v
+                       || Dag.Graph.has_edge g ~src:v ~dst:u))
+                group)
+            group)
+        groups)
+
+let bmct_groups_cover_all_tasks =
+  Tutil.qcheck ~count:50 "BMCT groups partition the task set" Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 12 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      let all = List.concat (Sched.Bmct.groups g p) in
+      List.sort_uniq compare all = List.init (Dag.Graph.n_tasks g) Fun.id)
+
+let dls_static_levels_monotone =
+  Tutil.qcheck ~count:50 "DLS static levels decrease along edges" Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 18 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      let sl = Sched.Dls.static_levels g p in
+      Array.for_all (fun (u, v, _) -> sl.(u) > sl.(v)) (Dag.Graph.edges g))
+
+let dls_single_task_fast_proc () =
+  let g = Dag.Graph.make ~n:1 ~edges:[] in
+  let p =
+    Platform.make ~etc:[| [| 10.; 2. |] |] ~tau:[| [| 0.; 1. |]; [| 1.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  let s = Sched.Dls.schedule g p in
+  Alcotest.(check int) "fast proc" 1 s.Sched.Schedule.proc_of.(0)
+
+let robust_heft_valid_and_degenerates =
+  Tutil.qcheck ~count:30 "RobustHEFT schedules validate; κ=0 ≈ HEFT-on-means"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 17 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      let model = Workloads.Stochastify.make ~ul:1.2 () in
+      let s = Sched.Robust_heft.schedule ~kappa:1. g p model in
+      let s0 = Sched.Robust_heft.schedule ~kappa:0. g p model in
+      (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.
+      && (Sched.Simulator.deterministic s0 p).Sched.Simulator.makespan > 0.)
+
+let robust_heft_weights_grow_with_kappa () =
+  let g = diamond in
+  let p = two_proc_platform () in
+  let model = Workloads.Stochastify.make ~ul:1.5 () in
+  let w0 = Sched.Robust_heft.risk_adjusted_weights ~kappa:0. g p model in
+  let w2 = Sched.Robust_heft.risk_adjusted_weights ~kappa:2. g p model in
+  Alcotest.(check bool) "task cost grows" true
+    (w2.Dag.Levels.task 0 > w0.Dag.Levels.task 0);
+  Alcotest.(check bool) "edge cost grows" true
+    (w2.Dag.Levels.edge 0 1 > w0.Dag.Levels.edge 0 1)
+
+let robust_heft_rejects_negative_kappa () =
+  let g = diamond in
+  let p = two_proc_platform () in
+  let model = Workloads.Stochastify.make ~ul:1.1 () in
+  Alcotest.(check bool) "rejects" true
+    (match Sched.Robust_heft.schedule ~kappa:(-1.) g p model with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let gantt_renders () =
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  let t = Sched.Simulator.deterministic s (two_proc_platform ()) in
+  let out = Sched.Gantt.render s t in
+  Alcotest.(check bool) "has rows" true
+    (String.length out > 100
+    && String.split_on_char '\n' out |> List.exists (fun l -> String.length l > 0))
+
+let cpop_critical_path_is_path () =
+  let g = diamond in
+  let p = two_proc_platform () in
+  let cp = Sched.Cpop.critical_path g p in
+  (* must start at the entry and end at the exit *)
+  Alcotest.(check int) "starts at entry" 0 (List.hd cp);
+  Alcotest.(check int) "ends at exit" 3 (List.nth cp (List.length cp - 1))
+
+let cpop_pins_critical_path () =
+  let g = Workloads.Classic.chain ~n:5 () in
+  let rng = Tutil.rng_of_seed 13 in
+  let p = Platform.Gen.uniform_minval ~rng ~n_tasks:5 ~n_procs:3 () in
+  let s = Sched.Cpop.schedule g p in
+  (* a chain is entirely critical: all tasks on the same processor *)
+  let procs = Array.to_list s.Sched.Schedule.proc_of in
+  Alcotest.(check bool) "single proc" true
+    (List.for_all (fun q -> q = List.hd procs) procs)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "sched"
+    [
+      ( "schedule",
+        [
+          tc "valid build" `Quick make_valid_schedule;
+          tc "validation" `Quick schedule_validation;
+          tc "assignment sequence" `Quick of_assignment_sequence_builds;
+          serialization_roundtrip;
+          tc "serialization rejects" `Quick serialization_rejects_garbage;
+        ] );
+      ( "simulator",
+        [
+          tc "hand computed" `Quick eager_times_hand_computed;
+          tc "with latency" `Quick eager_times_with_latency;
+          tc "single proc chain" `Quick single_proc_chain_makespan;
+          eager_no_overlap_and_precedence;
+          eager_starts_are_tight;
+          mean_times_above_deterministic;
+          sampled_within_bounds;
+        ] );
+      ( "disjunctive",
+        [
+          tc "adds proc edges" `Quick disjunctive_adds_proc_edges;
+          disjunctive_makespan_matches_simulator;
+        ] );
+      ( "slack",
+        [
+          tc "chain zero" `Quick slack_chain_is_zero;
+          tc "idle window" `Quick slack_idle_task_has_window;
+          tc "modes differ" `Quick slack_modes_differ_on_serialized;
+          slack_nonnegative;
+        ] );
+      ( "random_sched",
+        [ random_schedules_valid; tc "distinct" `Quick random_schedules_distinct ] );
+      ( "heuristics",
+        [
+          heuristics_produce_valid_schedules;
+          tc "beat random" `Quick heuristics_beat_random_on_average;
+          tc "heft serial" `Quick heft_single_proc_is_serial;
+          heft_ranks_decrease_along_edges;
+          tc "heft fast proc" `Quick heft_prefers_fast_processor;
+          tc "heft insertion" `Quick heft_insertion_fills_gap;
+          heft_rank_policies_all_valid;
+          tc "heft rank ordering" `Quick heft_rank_policies_order_weights;
+          tc "bil exit levels" `Quick bil_levels_at_exits;
+          tc "bil monotone" `Quick bil_levels_monotone;
+          bmct_groups_are_independent;
+          bmct_groups_cover_all_tasks;
+          tc "cpop path" `Quick cpop_critical_path_is_path;
+          tc "cpop pins chain" `Quick cpop_pins_critical_path;
+          dls_static_levels_monotone;
+          tc "dls fast proc" `Quick dls_single_task_fast_proc;
+          robust_heft_valid_and_degenerates;
+          tc "robust-heft kappa weights" `Quick robust_heft_weights_grow_with_kappa;
+          tc "robust-heft kappa check" `Quick robust_heft_rejects_negative_kappa;
+          tc "gantt" `Quick gantt_renders;
+        ] );
+    ]
