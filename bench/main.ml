@@ -103,6 +103,27 @@ let precomputed_rows =
 
 let special = lazy (Distribution.Family.special ())
 
+(* engine-vs-legacy fixtures: a batch of schedules of ONE case, the
+   usage pattern of the experiment sweeps (the engine is created once per
+   case and amortizes its distribution caches across the batch) *)
+let batch_size = 8
+
+let sched_batch =
+  lazy
+    (let inst, _ = Lazy.force random30 in
+     let rng = Prng.Xoshiro.create 31L in
+     let scheds =
+       Sched.Random_sched.generate_many ~rng ~graph:inst.E.Case.graph ~n_procs:8
+         ~count:batch_size
+     in
+     (inst, Array.of_list scheds))
+
+let shared_engine =
+  lazy
+    (let inst, _ = Lazy.force random30 in
+     Makespan.Engine.create ~graph:inst.E.Case.graph ~platform:inst.E.Case.platform
+       ~model:inst.E.Case.model)
+
 let mc_batch fx count =
   let inst, sched = fx in
   Makespan.Montecarlo.realizations ~domains:1 ~rng:(Prng.Xoshiro.create 7L) ~count sched
@@ -155,6 +176,44 @@ let figure_tests =
            ignore (Stats.Correlation.pearson xs ys)));
   ]
 
+(* engine vs legacy: same work — full metric vectors for a batch of
+   schedules of one case — through the shared engine vs the uncached
+   per-schedule path *)
+let engine_tests =
+  [
+    Test.make ~name:"engine:metrics-batch8"
+      (Staged.stage (fun () ->
+           let _, scheds = Lazy.force sched_batch in
+           let engine = Lazy.force shared_engine in
+           Array.iter
+             (fun s ->
+               ignore
+                 (Metrics.Robustness.to_array (Metrics.Robustness.of_engine engine s)))
+             scheds));
+    Test.make ~name:"legacy:metrics-batch8"
+      (Staged.stage (fun () ->
+           let inst, scheds = Lazy.force sched_batch in
+           Array.iter
+             (fun s ->
+               ignore
+                 (Metrics.Robustness.to_array
+                    (Metrics.Robustness.of_schedule s inst.E.Case.platform
+                       inst.E.Case.model)))
+             scheds));
+    Test.make ~name:"engine:classical-batch8"
+      (Staged.stage (fun () ->
+           let _, scheds = Lazy.force sched_batch in
+           let engine = Lazy.force shared_engine in
+           Array.iter (fun s -> ignore (Makespan.Engine.eval engine s)) scheds));
+    Test.make ~name:"legacy:classical-batch8"
+      (Staged.stage (fun () ->
+           let inst, scheds = Lazy.force sched_batch in
+           Array.iter
+             (fun s ->
+               ignore (Makespan.Classic.run s inst.E.Case.platform inst.E.Case.model))
+             scheds));
+  ]
+
 (* substrate kernels *)
 let substrate_tests =
   let u = Distribution.Family.uncertain ~ul:1.1 20. in
@@ -195,6 +254,13 @@ let substrate_tests =
            ignore (Sched.Slack.compute sched inst.E.Case.platform inst.E.Case.model)));
   ]
 
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.3f µs" (ns /. 1e3)
+  else Printf.sprintf "%8.0f ns" ns
+
 let run_benchmarks () =
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None () in
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
@@ -202,9 +268,9 @@ let run_benchmarks () =
   Printf.printf "\n================ Bechamel kernels ================\n\n";
   Printf.printf "%-36s  %14s\n" "kernel" "time/run";
   Printf.printf "%s\n" (String.make 52 '-');
-  List.iter
+  List.concat_map
     (fun test ->
-      List.iter
+      List.map
         (fun elt ->
           let raw = Benchmark.run cfg instances elt in
           let est = Analyze.one ols Instance.monotonic_clock raw in
@@ -213,17 +279,40 @@ let run_benchmarks () =
             | Some [ v ] -> v
             | _ -> Float.nan
           in
-          let pretty =
-            if Float.is_nan ns then "n/a"
-            else if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
-            else if ns > 1e6 then Printf.sprintf "%8.3f ms" (ns /. 1e6)
-            else if ns > 1e3 then Printf.sprintf "%8.3f µs" (ns /. 1e3)
-            else Printf.sprintf "%8.0f ns" ns
-          in
-          Printf.printf "%-36s  %14s\n%!" (Test.Elt.name elt) pretty)
+          Printf.printf "%-36s  %14s\n%!" (Test.Elt.name elt) (pretty_ns ns);
+          (Test.Elt.name elt, ns))
         (Test.elements test))
-    (figure_tests @ substrate_tests)
+    (figure_tests @ engine_tests @ substrate_tests)
+
+(* BENCH_engine.json: the engine-vs-legacy record asked for by CI/review.
+   Hand-rolled JSON — the project deliberately has no JSON dependency. *)
+let write_bench_json results =
+  let json_field (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns\": %s }" name
+      (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+  in
+  let speedup =
+    match
+      ( List.assoc_opt "engine:metrics-batch8" results,
+        List.assoc_opt "legacy:metrics-batch8" results )
+    with
+    | Some e, Some l when e > 0. && Float.is_finite e && Float.is_finite l ->
+      Printf.sprintf "%.3f" (l /. e)
+    | _ -> "null"
+  in
+  let oc = open_out "BENCH_engine.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"scale\": %S,\n\
+    \  \"unit\": \"ns/run\",\n\
+    \  \"engine_speedup_metrics_batch8\": %s,\n\
+    \  \"kernels\": [\n%s\n  ]\n\
+     }\n"
+    scale.E.Scale.name speedup
+    (String.concat ",\n" (List.map json_field results));
+  close_out oc;
+  Printf.printf "\n[wrote BENCH_engine.json]\n%!"
 
 let () =
   reproduce ();
-  run_benchmarks ()
+  write_bench_json (run_benchmarks ())

@@ -184,6 +184,11 @@ let run_bounds kind n procs ul seed =
     Sched.Random_sched.generate ~rng ~graph:inst.E.Case.graph ~n_procs:procs
   in
   let b = Makespan.Bounds.run sched inst.E.Case.platform inst.E.Case.model in
+  let engine =
+    Makespan.Engine.create ~graph:inst.E.Case.graph ~platform:inst.E.Case.platform
+      ~model:inst.E.Case.model
+  in
+  let classical = Makespan.Engine.eval engine sched in
   let mc =
     Makespan.Montecarlo.run ~rng ~count:20000 sched inst.E.Case.platform inst.E.Case.model
   in
@@ -193,6 +198,8 @@ let run_bounds kind n procs ul seed =
     (E.Case.kind_name kind) (Dag.Graph.n_tasks inst.E.Case.graph) procs ul;
   Printf.printf "  lower (comonotone maxima):  mean %10.3f  std %8.4f\n"
     (Dist.mean b.Makespan.Bounds.lower) (Dist.std b.Makespan.Bounds.lower);
+  Printf.printf "  classical (engine):         mean %10.3f  std %8.4f\n"
+    (Dist.mean classical) (Dist.std classical);
   Printf.printf "  Monte Carlo (20000 runs):   mean %10.3f  std %8.4f\n"
     (Empirical.mean mc) (Empirical.std mc);
   Printf.printf "  upper (independent maxima): mean %10.3f  std %8.4f\n"

@@ -20,9 +20,10 @@ let () =
     (fun ul ->
       let model = Core.Uncertainty.make ~ul () in
       let emp = Core.Montecarlo.run ~rng ~count:20000 sched platform model in
+      let engine = Core.Engine.create ~graph ~platform ~model in
       List.iter
         (fun m ->
-          let d = Core.Makespan_eval.distribution ~method_:m sched platform model in
+          let d = Core.Engine.eval ~backend:(Core.Engine.backend_of_method m) engine sched in
           let ks = Core.Distance.ks (Analytic d) (Sampled emp) in
           let cm = Core.Distance.cm_area (Analytic d) (Sampled emp) in
           Printf.printf "%-6.2f  %-10s  %10.5f  %10.5f  %12.3f  %12.4f\n" ul

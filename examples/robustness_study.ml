@@ -20,12 +20,16 @@ let () =
   Printf.printf "Random DAG: %d tasks, %d procs, UL = 1.05, %d random schedules\n\n"
     (Core.Graph.n_tasks graph) n_procs n_schedules;
 
+  (* one engine for the whole sweep: every schedule below shares its
+     duration/communication distribution caches *)
+  let engine = Core.Engine.create ~graph ~platform ~model in
+
   (* calibrate the probabilistic-metric bounds on a small pilot *)
   let schedules = Core.Random_sched.generate_many ~rng ~graph ~n_procs ~count:n_schedules in
   let pilot =
     List.filteri (fun i _ -> i < 15) schedules
     |> List.map (fun s ->
-           let a = Core.analyze s platform model in
+           let a = Core.analyze_with engine s in
            ( a.Core.metrics.Core.Robustness.expected_makespan,
              a.Core.metrics.Core.Robustness.makespan_std ))
   in
@@ -36,7 +40,7 @@ let () =
     Array.of_list
       (List.map
          (fun s ->
-           Core.Robustness.to_array (Core.Robustness.of_schedule ~delta ~gamma s platform model))
+           Core.Robustness.to_array (Core.Robustness.of_engine ~delta ~gamma engine s))
          schedules)
   in
   (* the paper's plotting orientation: slack and the probabilistic

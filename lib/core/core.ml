@@ -36,6 +36,7 @@ module Slack = Sched.Slack
 module Disjunctive = Sched.Disjunctive
 module Random_sched = Sched.Random_sched
 module Makespan_eval = Makespan.Eval
+module Engine = Makespan.Engine
 module Montecarlo = Makespan.Montecarlo
 module Makespan_bounds = Makespan.Bounds
 module Robustness = Metrics.Robustness
@@ -93,14 +94,24 @@ type analysis = {
   metrics : Robustness.t;
 }
 
-(** [analyze sched platform model] evaluates a schedule end to end:
-    makespan distribution (classical method by default), slack summary,
-    and the eight §IV metrics. *)
-let analyze ?delta ?gamma ?(method_ = Makespan.Eval.Classical) schedule platform model =
-  let makespan_dist = Makespan.Eval.distribution ~method_ schedule platform model in
-  let slack = Sched.Slack.compute schedule platform model in
+(** [analyze sched platform model] evaluates a schedule end to end
+    through a one-shot {!Engine}: makespan distribution (classical method
+    by default), slack summary, and the eight §IV metrics. For sweeps
+    over many schedules of one case, create the engine once with
+    {!Engine.create} and call {!analyze_with} instead. *)
+let analyze_with ?delta ?gamma ?(method_ = Makespan.Eval.Classical) engine schedule =
+  let { Makespan.Engine.makespan = makespan_dist; slack } =
+    Makespan.Engine.analyze ~backend:(Makespan.Engine.backend_of_method method_) engine
+      schedule
+  in
   let metrics = Robustness.compute ?delta ?gamma ~makespan_dist ~slack () in
   { schedule; makespan_dist; slack; metrics }
+
+let analyze ?delta ?gamma ?method_ schedule platform model =
+  let engine =
+    Makespan.Engine.create ~graph:schedule.Sched.Schedule.graph ~platform ~model
+  in
+  analyze_with ?delta ?gamma ?method_ engine schedule
 
 (** [validate_against_montecarlo ~rng ~count analysis platform model] is
     the (KS, CM) distance between the analytic makespan distribution and

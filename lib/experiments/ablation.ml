@@ -13,9 +13,10 @@ let sweep_correlations ?domains ~scale ~rng graph platform model =
   let scheds =
     Array.of_list (Sched.Random_sched.generate_many ~rng ~graph ~n_procs ~count)
   in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
   let rows =
     Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length scheds) (fun i ->
-        let d = Makespan.Classic.run scheds.(i) platform model in
+        let d = Makespan.Engine.eval engine scheds.(i) in
         let mu = Distribution.Dist.mean d in
         ( mu,
           Distribution.Dist.std d,
@@ -141,9 +142,10 @@ let pareto_front_study ?domains ?(scale = Scale.of_env ()) ?(seed = 71L) () =
           (fun kappa -> Sched.Robust_heft.schedule ~kappa graph platform model)
           [ 0.5; 1.; 2.; 4.; 8. ])
   in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
   let points =
     Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length scheds) (fun i ->
-        let d = Makespan.Classic.run scheds.(i) platform model in
+        let d = Makespan.Engine.eval engine scheds.(i) in
         (Distribution.Dist.mean d, Distribution.Dist.std d))
   in
   let all = Array.to_list points in
@@ -205,10 +207,11 @@ let robust_heft_tradeoff ?(seed = 17L) ?(kappas = [ 0.; 0.5; 1.; 2.; 4. ]) () =
   let model =
     Workloads.Stochastify.make_variable ~base_ul:1.05 ~task_ul:variable_task_ul ()
   in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
   List.map
     (fun kappa ->
       let sched = Sched.Robust_heft.schedule ~kappa graph platform model in
-      let d = Makespan.Classic.run sched platform model in
+      let d = Makespan.Engine.eval engine sched in
       {
         kappa;
         expected_makespan = Distribution.Dist.mean d;

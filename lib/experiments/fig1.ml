@@ -14,7 +14,8 @@ let evaluate_one ?domains ~rng ~mc_count graph n_procs model =
       ~v_mach:0.5 ()
   in
   let sched = Sched.Random_sched.generate ~rng ~graph ~n_procs in
-  let dist = Makespan.Classic.run sched platform model in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
+  let dist = Makespan.Engine.eval engine sched in
   let emp = Makespan.Montecarlo.run ?domains ~rng ~count:mc_count sched platform model in
   ( Stats.Distance.ks (Analytic dist) (Sampled emp),
     Stats.Distance.cm_area (Analytic dist) (Sampled emp) )

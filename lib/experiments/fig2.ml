@@ -16,7 +16,8 @@ let run ?domains ?(scale = Scale.of_env ()) ?(seed = 21L) () =
       ~v_task:0.5 ~v_mach:0.5 ()
   in
   let sched = Sched.Random_sched.generate ~rng ~graph ~n_procs:16 in
-  let dist = Makespan.Classic.run sched platform model in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
+  let dist = Makespan.Engine.eval engine sched in
   let mc_count = Scale.realizations scale 100000 in
   let emp = Makespan.Montecarlo.run ?domains ~rng ~count:mc_count sched platform model in
   let ks = Stats.Distance.ks (Analytic dist) (Sampled emp) in

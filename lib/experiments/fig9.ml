@@ -39,10 +39,10 @@ let run ?(n_tasks = 12) ?(ul = 1.1) () =
     (* the last three tasks run alone; the rest chain on processor 0 *)
     Array.init n_tasks (fun t -> if t >= n_tasks - 3 then 1 + (t - (n_tasks - 3)) else 0)
   in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
   let evaluate name description layout =
     let sched = schedule_of layout in
-    let dist = Makespan.Classic.run sched platform model in
-    let slack = Sched.Slack.compute sched platform model in
+    let { Makespan.Engine.makespan = dist; slack } = Makespan.Engine.analyze engine sched in
     {
       name;
       description;

@@ -67,9 +67,13 @@ let methods_vs_mc ?domains ?(scale = Scale.of_env ()) ?cases () =
       let emp =
         Makespan.Montecarlo.run ?domains ~rng ~count:mc_count sched platform model
       in
+      let engine = Makespan.Engine.create ~graph ~platform ~model in
       List.map
         (fun m ->
-          let d = Makespan.Eval.distribution ~method_:m sched platform model in
+          let d =
+            Makespan.Engine.eval ~backend:(Makespan.Engine.backend_of_method m) engine
+              sched
+          in
           {
             case_id = case.Case.id;
             method_name = Makespan.Eval.method_name m;

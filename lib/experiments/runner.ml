@@ -14,11 +14,17 @@ let heuristics =
   [ ("HEFT", fun g p -> Sched.Heft.schedule g p); ("BIL", Sched.Bil.schedule);
     ("Hyb.BMCT", Sched.Bmct.schedule) ]
 
-let run ?domains ?(scale = Scale.of_env ()) ?slack_mode case =
+let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ?count case =
   let instance = Case.instantiate case in
   let { Case.graph; platform; model; _ } = instance in
   let rng = Prng.Xoshiro.create (Int64.add case.Case.seed 0x5EEDL) in
-  let count = Scale.schedules scale case.Case.paper_schedules in
+  let count =
+    match count with
+    | Some c ->
+      if c < 0 then invalid_arg "Runner.run: count must be >= 0";
+      c
+    | None -> Scale.schedules scale case.Case.paper_schedules
+  in
   let random_scheds =
     Array.of_list
       (Sched.Random_sched.generate_many ~rng ~graph ~n_procs:case.Case.n_procs ~count)
@@ -26,13 +32,21 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode case =
   let heuristic_scheds =
     List.map (fun (name, f) -> (name, f graph platform)) heuristics
   in
+  let engine = Makespan.Engine.create ~graph ~platform ~model in
   (* calibrate the probabilistic-metric bounds on a pilot batch so that A
-     and R spread over (0,1) for this case's weight scale *)
-  let pilot_size = Int.min 20 count in
+     and R spread over (0,1) for this case's weight scale; with no random
+     schedules the pilot falls back to the heuristic schedules *)
+  let pilot_scheds =
+    match Int.min 20 count with
+    | 0 -> List.map snd heuristic_scheds
+    | pilot_size -> List.init pilot_size (fun i -> random_scheds.(i))
+  in
   let pilot =
-    List.init pilot_size (fun i ->
-        let d = Makespan.Classic.run random_scheds.(i) platform model in
+    List.map
+      (fun sched ->
+        let d = Makespan.Engine.eval engine sched in
         (Distribution.Dist.mean d, Distribution.Dist.std d))
+      pilot_scheds
   in
   let delta, gamma = Metrics.Robustness.calibrate_bounds pilot in
   let all_scheds =
@@ -48,8 +62,7 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode case =
   let rows =
     Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length all_scheds) (fun i ->
         Metrics.Robustness.to_array
-          (Metrics.Robustness.of_schedule ~delta ~gamma ?slack_mode all_scheds.(i) platform
-             model))
+          (Metrics.Robustness.of_engine ~delta ~gamma ?slack_mode engine all_scheds.(i)))
   in
   Elog.info "case %s: done" case.Case.id;
   { instance; delta; gamma; sources; rows }

@@ -17,12 +17,22 @@ val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
 (** The paper's three heuristics, by name. *)
 
 val run :
-  ?domains:int -> ?scale:Scale.t -> ?slack_mode:Sched.Slack.graph_mode -> Case.t -> result
-(** Instantiate the case, generate [paper_schedules / scale] random
-    schedules + the heuristics, auto-calibrate δ and γ on a pilot batch
-    (§V picked constants manually for its weight scale), then evaluate
-    every schedule's metric vector in parallel (classical makespan
-    distribution + mean-weight slack, [`Disjunctive] by default). *)
+  ?domains:int ->
+  ?scale:Scale.t ->
+  ?slack_mode:Sched.Slack.graph_mode ->
+  ?count:int ->
+  Case.t ->
+  result
+(** Instantiate the case, generate random schedules + the heuristics,
+    auto-calibrate δ and γ on a pilot batch (§V picked constants manually
+    for its weight scale), then evaluate every schedule's metric vector in
+    parallel through one shared {!Makespan.Engine} (classical makespan
+    distribution + mean-weight slack, [`Disjunctive] by default).
+
+    [count] overrides the number of random schedules (default
+    [paper_schedules / scale]); with [~count:0] only the heuristic
+    schedules are evaluated and the calibration pilot falls back to
+    them. *)
 
 val heuristic_rows : result -> (string * float array) list
 (** The heuristics' raw metric vectors. *)

@@ -1,10 +1,20 @@
-let completion_dists sched platform model =
-  let points = model.Workloads.Stochastify.points in
-  let dgraph = Sched.Disjunctive.graph_of sched in
+(* The forward sweep is shared between the legacy per-call path and the
+   cached {!Engine} path: [completion_dists_with] takes the duration and
+   communication distributions as functions (plus an optional
+   caller-owned scratch array), so the same propagation serves direct
+   Stochastify lookups and an engine's memo tables. *)
+
+let completion_dists_with ~points ~dgraph ?completion
+    ~(task_dist : task:int -> proc:int -> Distribution.Dist.t)
+    ~(comm_dist : volume:float -> src:int -> dst:int -> Distribution.Dist.t) sched =
   let graph = sched.Sched.Schedule.graph in
   let proc_of = sched.Sched.Schedule.proc_of in
   let n = Dag.Graph.n_tasks dgraph in
-  let completion = Array.make n (Distribution.Dist.const 0.) in
+  let completion =
+    match completion with
+    | Some a when Array.length a >= n -> a
+    | Some _ | None -> Array.make n (Distribution.Dist.const 0.)
+  in
   Array.iter
     (fun v ->
       let arrivals =
@@ -15,10 +25,7 @@ let completion_dists sched platform model =
                match Dag.Graph.volume graph ~src:p ~dst:v with
                | None -> completion.(p)
                | Some volume ->
-                 let comm =
-                   Workloads.Stochastify.comm_dist model platform ~volume
-                     ~src:proc_of.(p) ~dst:proc_of.(v)
-                 in
+                 let comm = comm_dist ~volume ~src:proc_of.(p) ~dst:proc_of.(v) in
                  Distribution.Dist.add ~points completion.(p) comm)
       in
       let ready =
@@ -26,14 +33,27 @@ let completion_dists sched platform model =
         | [] -> Distribution.Dist.const 0.
         | ds -> Distribution.Dist.max_list ~points ds
       in
-      let dur = Workloads.Stochastify.task_dist model platform ~task:v ~proc:proc_of.(v) in
+      let dur = task_dist ~task:v ~proc:proc_of.(v) in
       completion.(v) <- Distribution.Dist.add ~points ready dur)
     (Dag.Graph.topo_order dgraph);
   completion
+
+let makespan_of_exits ~points dgraph completion =
+  let exits = Dag.Graph.exits dgraph in
+  Distribution.Dist.max_list ~points
+    (Array.to_list (Array.map (fun e -> completion.(e)) exits))
+
+let completion_dists sched platform model =
+  let points = model.Workloads.Stochastify.points in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  completion_dists_with ~points ~dgraph
+    ~task_dist:(fun ~task ~proc -> Workloads.Stochastify.task_dist model platform ~task ~proc)
+    ~comm_dist:(fun ~volume ~src ~dst ->
+      Workloads.Stochastify.comm_dist model platform ~volume ~src ~dst)
+    sched
 
 let run sched platform model =
   let points = model.Workloads.Stochastify.points in
   let dgraph = Sched.Disjunctive.graph_of sched in
   let completion = completion_dists sched platform model in
-  let exits = Dag.Graph.exits dgraph in
-  Distribution.Dist.max_list ~points (Array.to_list (Array.map (fun e -> completion.(e)) exits))
+  makespan_of_exits ~points dgraph completion

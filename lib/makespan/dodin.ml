@@ -3,21 +3,17 @@ type outcome = {
   duplications : int;
 }
 
-let evaluate sched platform model =
+let evaluate_with ~points ~dgraph
+    ~(task_dist : task:int -> proc:int -> Distribution.Dist.t)
+    ~(comm_dist : volume:float -> src:int -> dst:int -> Distribution.Dist.t) sched =
   let open Distribution in
-  let points = model.Workloads.Stochastify.points in
-  let dgraph = Sched.Disjunctive.graph_of sched in
   let graph = sched.Sched.Schedule.graph in
   let proc_of = sched.Sched.Schedule.proc_of in
-  let task v =
-    Workloads.Stochastify.task_dist model platform ~task:v ~proc:proc_of.(v)
-  in
+  let task v = task_dist ~task:v ~proc:proc_of.(v) in
   let edge u v =
     match Dag.Graph.volume graph ~src:u ~dst:v with
     | None -> Dist.const 0.
-    | Some volume ->
-      Workloads.Stochastify.comm_dist model platform ~volume ~src:proc_of.(u)
-        ~dst:proc_of.(v)
+    | Some volume -> comm_dist ~volume ~src:proc_of.(u) ~dst:proc_of.(v)
   in
   let network = Dag.Series_parallel.of_task_dag dgraph ~task ~edge ~zero:(Dist.const 0.) in
   let algebra =
@@ -28,5 +24,14 @@ let evaluate sched platform model =
   in
   let result = Dag.Series_parallel.reduce algebra network in
   { dist = result.Dag.Series_parallel.weight; duplications = result.Dag.Series_parallel.duplications }
+
+let evaluate sched platform model =
+  let points = model.Workloads.Stochastify.points in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  evaluate_with ~points ~dgraph
+    ~task_dist:(fun ~task ~proc -> Workloads.Stochastify.task_dist model platform ~task ~proc)
+    ~comm_dist:(fun ~volume ~src ~dst ->
+      Workloads.Stochastify.comm_dist model platform ~volume ~src ~dst)
+    sched
 
 let run sched platform model = (evaluate sched platform model).dist

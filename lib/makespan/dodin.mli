@@ -12,6 +12,17 @@ type outcome = {
   duplications : int;  (** 0 iff the disjunctive graph was SP *)
 }
 
+val evaluate_with :
+  points:int ->
+  dgraph:Dag.Graph.t ->
+  task_dist:(task:int -> proc:int -> Distribution.Dist.t) ->
+  comm_dist:(volume:float -> src:int -> dst:int -> Distribution.Dist.t) ->
+  Sched.Schedule.t ->
+  outcome
+(** The reduction with injected duration/communication distributions —
+    the shared core behind {!evaluate} and the cached {!Engine} path.
+    [dgraph] must be the schedule's disjunctive graph. *)
+
 val evaluate : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> outcome
 
 val run : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Dist.t

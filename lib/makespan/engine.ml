@@ -1,0 +1,254 @@
+(* One evaluation context per (graph × platform × model) case.
+
+   Everything that is invariant across the thousands of schedules of a
+   case is computed once and cached here:
+   - the (task × proc) duration-distribution table (filled lazily: a
+     single-schedule evaluation touches only n of the n×m cells, a sweep
+     eventually fills the table);
+   - communication distributions, memoized by their deterministic weight
+     [latency + volume·τ] — the distribution of a perturbed weight
+     depends only on that scalar, so this key subsumes
+     (volume, src_proc, dst_proc) and collapses homogeneous-network
+     pairs into one entry;
+   - exact (mean, std) moment tables for Spelde and the slack levels.
+
+   Mutable caches are guarded by one mutex (lookups are cheap next to a
+   64-point grid construction; distribution builds happen outside the
+   lock, a benign duplicated build under a race). Scratch buffers —
+   completion arrays for the classical sweep and moment arrays for
+   Spelde — live in domain-local storage so parallel sweeps neither
+   race nor allocate per schedule. *)
+
+type backend =
+  | Classical
+  | Dodin
+  | Spelde
+  | Montecarlo of { count : int; seed : int64 }
+
+let backend_of_method = function
+  | Eval.Classical -> Classical
+  | Eval.Dodin -> Dodin
+  | Eval.Spelde -> Spelde
+
+let backend_name = function
+  | Classical -> "classical"
+  | Dodin -> "dodin"
+  | Spelde -> "spelde"
+  | Montecarlo _ -> "montecarlo"
+
+type stats = {
+  task_hits : int;
+  task_misses : int;  (** filled (task, proc) duration cells *)
+  comm_hits : int;
+  comm_misses : int;  (** distinct communication weights built *)
+  evals : int;
+}
+
+type scratch = {
+  mutable dists : Distribution.Dist.t array;
+  mutable pairs : Distribution.Normal_pair.t array;
+}
+
+type t = {
+  graph : Dag.Graph.t;
+  platform : Platform.t;
+  model : Workloads.Stochastify.t;
+  points : int;
+  n_tasks : int;
+  n_procs : int;
+  task_means : float array array;
+  task_stds : float array array;
+  task_tbl : Distribution.Dist.t option array array;
+  comm_tbl : (float, Distribution.Dist.t) Hashtbl.t;
+  lock : Mutex.t;
+  task_hits : int Atomic.t;
+  task_misses : int Atomic.t;
+  comm_hits : int Atomic.t;
+  comm_misses : int Atomic.t;
+  evals : int Atomic.t;
+  scratch : scratch Domain.DLS.key;
+}
+
+let create ~graph ~platform ~model =
+  let n_tasks = Dag.Graph.n_tasks graph in
+  if Platform.n_tasks platform <> n_tasks then
+    invalid_arg "Engine.create: platform/graph task-count mismatch";
+  let n_procs = Platform.n_procs platform in
+  {
+    graph;
+    platform;
+    model;
+    points = model.Workloads.Stochastify.points;
+    n_tasks;
+    n_procs;
+    task_means =
+      Array.init n_tasks (fun task ->
+          Array.init n_procs (fun proc ->
+              Workloads.Stochastify.task_mean model platform ~task ~proc));
+    task_stds =
+      Array.init n_tasks (fun task ->
+          Array.init n_procs (fun proc ->
+              Workloads.Stochastify.task_std model platform ~task ~proc));
+    task_tbl = Array.init n_tasks (fun _ -> Array.make n_procs None);
+    comm_tbl = Hashtbl.create 64;
+    lock = Mutex.create ();
+    task_hits = Atomic.make 0;
+    task_misses = Atomic.make 0;
+    comm_hits = Atomic.make 0;
+    comm_misses = Atomic.make 0;
+    evals = Atomic.make 0;
+    scratch = Domain.DLS.new_key (fun () -> { dists = [||]; pairs = [||] });
+  }
+
+let graph t = t.graph
+let platform t = t.platform
+let model t = t.model
+
+let stats t =
+  {
+    task_hits = Atomic.get t.task_hits;
+    task_misses = Atomic.get t.task_misses;
+    comm_hits = Atomic.get t.comm_hits;
+    comm_misses = Atomic.get t.comm_misses;
+    evals = Atomic.get t.evals;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Cached distribution views                                           *)
+(* ------------------------------------------------------------------ *)
+
+let task_dist t ~task ~proc =
+  let cell = Mutex.protect t.lock (fun () -> t.task_tbl.(task).(proc)) in
+  match cell with
+  | Some d ->
+    Atomic.incr t.task_hits;
+    d
+  | None ->
+    Atomic.incr t.task_misses;
+    let d = Workloads.Stochastify.task_dist t.model t.platform ~task ~proc in
+    Mutex.protect t.lock (fun () ->
+        match t.task_tbl.(task).(proc) with
+        | Some d' -> d' (* another domain won the race; keep its value *)
+        | None ->
+          t.task_tbl.(task).(proc) <- Some d;
+          d)
+
+let comm_dist t ~volume ~src ~dst =
+  let w = Platform.comm_time t.platform ~src ~dst ~volume in
+  if w = 0. then Distribution.Dist.const 0.
+  else
+    let cached = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.comm_tbl w) in
+    match cached with
+    | Some d ->
+      Atomic.incr t.comm_hits;
+      d
+    | None ->
+      Atomic.incr t.comm_misses;
+      let d = Workloads.Stochastify.dist t.model w in
+      Mutex.protect t.lock (fun () ->
+          match Hashtbl.find_opt t.comm_tbl w with
+          | Some d' -> d'
+          | None ->
+            Hashtbl.add t.comm_tbl w d;
+            d)
+
+let task_mean t ~task ~proc = t.task_means.(task).(proc)
+let task_std t ~task ~proc = t.task_stds.(task).(proc)
+
+let comm_mean t ~volume ~src ~dst =
+  Workloads.Stochastify.comm_mean t.model t.platform ~volume ~src ~dst
+
+let comm_std t ~volume ~src ~dst =
+  Workloads.Stochastify.comm_std t.model t.platform ~volume ~src ~dst
+
+let mean_weights t sched =
+  let proc_of = sched.Sched.Schedule.proc_of in
+  {
+    Dag.Levels.task = (fun v -> t.task_means.(v).(proc_of.(v)));
+    edge =
+      (fun u v ->
+        match Dag.Graph.volume sched.Sched.Schedule.graph ~src:u ~dst:v with
+        | None -> 0.
+        | Some volume -> comm_mean t ~volume ~src:proc_of.(u) ~dst:proc_of.(v));
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Scratch buffers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let scratch_dists t n =
+  let s = Domain.DLS.get t.scratch in
+  if Array.length s.dists < n then s.dists <- Array.make n (Distribution.Dist.const 0.);
+  s.dists
+
+let scratch_pairs t n =
+  let s = Domain.DLS.get t.scratch in
+  if Array.length s.pairs < n then
+    s.pairs <- Array.make n (Distribution.Normal_pair.const 0.);
+  s.pairs
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let check_schedule t sched =
+  if Dag.Graph.n_tasks sched.Sched.Schedule.graph <> t.n_tasks then
+    invalid_arg "Engine: schedule belongs to a different case (task-count mismatch)"
+
+let completion_dists t ~dgraph sched =
+  Classic.completion_dists_with ~points:t.points ~dgraph
+    ~completion:(scratch_dists t (Dag.Graph.n_tasks dgraph))
+    ~task_dist:(fun ~task ~proc -> task_dist t ~task ~proc)
+    ~comm_dist:(fun ~volume ~src ~dst -> comm_dist t ~volume ~src ~dst)
+    sched
+
+let dist_of_backend t ~dgraph backend sched =
+  match backend with
+  | Classical ->
+    Classic.makespan_of_exits ~points:t.points dgraph (completion_dists t ~dgraph sched)
+  | Dodin ->
+    (Dodin.evaluate_with ~points:t.points ~dgraph
+       ~task_dist:(fun ~task ~proc -> task_dist t ~task ~proc)
+       ~comm_dist:(fun ~volume ~src ~dst -> comm_dist t ~volume ~src ~dst)
+       sched)
+      .Dodin.dist
+  | Spelde ->
+    let m =
+      Spelde.moments_with ~dgraph
+        ~completion:(scratch_pairs t (Dag.Graph.n_tasks dgraph))
+        ~task_moments:(fun ~task ~proc ->
+          Distribution.Normal_pair.make ~mean:(task_mean t ~task ~proc)
+            ~std:(task_std t ~task ~proc))
+        ~comm_moments:(fun ~volume ~src ~dst ->
+          Distribution.Normal_pair.make ~mean:(comm_mean t ~volume ~src ~dst)
+            ~std:(comm_std t ~volume ~src ~dst))
+        sched
+    in
+    Distribution.Normal_pair.to_normal ~points:t.points m
+  | Montecarlo { count; seed } ->
+    let rng = Prng.Xoshiro.create seed in
+    Distribution.Empirical.to_dist ~points:t.points
+      (Montecarlo.run ~rng ~count sched t.platform t.model)
+
+let eval ?(backend = Classical) t sched =
+  check_schedule t sched;
+  Atomic.incr t.evals;
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  dist_of_backend t ~dgraph backend sched
+
+type evaluation = {
+  makespan : Distribution.Dist.t;
+  slack : Sched.Slack.summary;
+}
+
+let analyze ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
+  check_schedule t sched;
+  Atomic.incr t.evals;
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let makespan = dist_of_backend t ~dgraph backend sched in
+  let slack =
+    match slack_mode with
+    | `Disjunctive -> Sched.Slack.of_weighted_graph dgraph (mean_weights t sched)
+    | `Precedence -> Sched.Slack.compute ~mode:`Precedence sched t.platform t.model
+  in
+  { makespan; slack }

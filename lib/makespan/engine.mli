@@ -1,0 +1,99 @@
+(** Unified per-case evaluation engine.
+
+    A case of the paper's experiments is one [(graph, platform,
+    uncertainty model)] triple over which thousands of schedules are
+    evaluated. An engine is created once per case and owns everything
+    that is invariant across those schedules:
+
+    - the (task × proc) duration-distribution table, filled lazily as
+      evaluations touch cells;
+    - memoized communication distributions. The cache key is the
+      deterministic communication weight [latency + volume·τ]: the
+      perturbed distribution depends only on that scalar, so this key
+      subsumes the (volume, src, dst) triple and additionally collapses
+      duplicates on homogeneous networks;
+    - exact (mean, std) moment tables, shared by Spelde's method and
+      the mean-weight slack levels;
+    - per-domain scratch buffers (completion-distribution and moment
+      arrays), so repeated evaluations stop allocating.
+
+    All four evaluation methods of the paper are exposed as pluggable
+    {!backend}s behind the single {!eval} entry point. Engines are safe
+    to share across domains ({!Parallel.Par_array} sweeps): caches are
+    mutex-guarded, counters atomic, scratch domain-local. *)
+
+type backend =
+  | Classical  (** forward sweep under independence (§III-B) *)
+  | Dodin  (** series–parallel reduction with duplication (§III-C) *)
+  | Spelde  (** normal moments + Clark maxima (§III-D) *)
+  | Montecarlo of { count : int; seed : int64 }
+      (** ground truth by simulation; deterministic given [seed] *)
+
+val backend_of_method : Eval.method_ -> backend
+(** Embedding of the analytic methods enumerated by {!Eval}. *)
+
+val backend_name : backend -> string
+
+type t
+
+val create :
+  graph:Dag.Graph.t -> platform:Platform.t -> model:Workloads.Stochastify.t -> t
+(** One engine per case. Raises [Invalid_argument] when the platform's
+    ETC matrix does not match the graph's task count. Creation is cheap
+    (moment tables only); distribution cells are built on first use. *)
+
+val graph : t -> Dag.Graph.t
+val platform : t -> Platform.t
+val model : t -> Workloads.Stochastify.t
+
+val eval : ?backend:backend -> t -> Sched.Schedule.t -> Distribution.Dist.t
+(** Makespan distribution of a schedule of this engine's case
+    (default backend: [Classical]). Raises [Invalid_argument] if the
+    schedule's graph has a different task count. *)
+
+type evaluation = {
+  makespan : Distribution.Dist.t;
+  slack : Sched.Slack.summary;
+}
+
+val analyze :
+  ?backend:backend ->
+  ?slack_mode:Sched.Slack.graph_mode ->
+  t ->
+  Sched.Schedule.t ->
+  evaluation
+(** Makespan distribution and slack summary in one pass: the schedule's
+    disjunctive graph is built once and shared by the distribution
+    propagation and (in the default [`Disjunctive] mode) the mean-weight
+    slack levels. [`Precedence] slack falls back to {!Sched.Slack.compute},
+    which needs the plain DAG and a simulated reference makespan. *)
+
+(** {1 Cached views}
+
+    Accessors into the engine's caches — used by the evaluation cores
+    and available to custom metrics. *)
+
+val task_dist : t -> task:int -> proc:int -> Distribution.Dist.t
+val comm_dist : t -> volume:float -> src:int -> dst:int -> Distribution.Dist.t
+val task_mean : t -> task:int -> proc:int -> float
+val task_std : t -> task:int -> proc:int -> float
+val comm_mean : t -> volume:float -> src:int -> dst:int -> float
+val comm_std : t -> volume:float -> src:int -> dst:int -> float
+
+val mean_weights : t -> Sched.Schedule.t -> Dag.Levels.weights
+(** Mean-duration weights of a schedule, served from the moment tables —
+    the engine's counterpart of {!Sched.Disjunctive.weights}. *)
+
+(** {1 Instrumentation} *)
+
+type stats = {
+  task_hits : int;
+  task_misses : int;  (** filled (task, proc) duration cells *)
+  comm_hits : int;
+  comm_misses : int;  (** distinct communication weights built *)
+  evals : int;
+}
+
+val stats : t -> stats
+(** Snapshot of the cache counters (atomic reads; approximate under
+    concurrent evaluation). *)

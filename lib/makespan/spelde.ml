@@ -1,10 +1,20 @@
-let moments sched platform model =
+(* Like {!Classic}, the moment propagation is parameterized over the
+   duration/communication views so the {!Engine} can feed it from cached
+   tables (and reuse a scratch array across schedules of one case). *)
+
+let moments_with ~dgraph ?completion
+    ~(task_moments : task:int -> proc:int -> Distribution.Normal_pair.t)
+    ~(comm_moments : volume:float -> src:int -> dst:int -> Distribution.Normal_pair.t)
+    sched =
   let open Distribution in
-  let dgraph = Sched.Disjunctive.graph_of sched in
   let graph = sched.Sched.Schedule.graph in
   let proc_of = sched.Sched.Schedule.proc_of in
   let n = Dag.Graph.n_tasks dgraph in
-  let completion = Array.make n (Normal_pair.const 0.) in
+  let completion =
+    match completion with
+    | Some a when Array.length a >= n -> a
+    | Some _ | None -> Array.make n (Normal_pair.const 0.)
+  in
   Array.iter
     (fun v ->
       let arrivals =
@@ -13,26 +23,29 @@ let moments sched platform model =
                match Dag.Graph.volume graph ~src:p ~dst:v with
                | None -> completion.(p)
                | Some volume ->
-                 let src = proc_of.(p) and dst = proc_of.(v) in
-                 let comm =
-                   Normal_pair.make
-                     ~mean:(Workloads.Stochastify.comm_mean model platform ~volume ~src ~dst)
-                     ~std:(Workloads.Stochastify.comm_std model platform ~volume ~src ~dst)
-                 in
-                 Normal_pair.add completion.(p) comm)
+                 Normal_pair.add completion.(p)
+                   (comm_moments ~volume ~src:proc_of.(p) ~dst:proc_of.(v)))
       in
       let ready =
         match arrivals with [] -> Normal_pair.const 0. | ds -> Normal_pair.max_list ds
       in
-      let dur =
-        Normal_pair.make
-          ~mean:(Workloads.Stochastify.task_mean model platform ~task:v ~proc:proc_of.(v))
-          ~std:(Workloads.Stochastify.task_std model platform ~task:v ~proc:proc_of.(v))
-      in
-      completion.(v) <- Normal_pair.add ready dur)
+      completion.(v) <- Normal_pair.add ready (task_moments ~task:v ~proc:proc_of.(v)))
     (Dag.Graph.topo_order dgraph);
   let exits = Dag.Graph.exits dgraph in
   Normal_pair.max_list (Array.to_list (Array.map (fun e -> completion.(e)) exits))
+
+let moments sched platform model =
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  moments_with ~dgraph
+    ~task_moments:(fun ~task ~proc ->
+      Distribution.Normal_pair.make
+        ~mean:(Workloads.Stochastify.task_mean model platform ~task ~proc)
+        ~std:(Workloads.Stochastify.task_std model platform ~task ~proc))
+    ~comm_moments:(fun ~volume ~src ~dst ->
+      Distribution.Normal_pair.make
+        ~mean:(Workloads.Stochastify.comm_mean model platform ~volume ~src ~dst)
+        ~std:(Workloads.Stochastify.comm_std model platform ~volume ~src ~dst))
+    sched
 
 let run sched platform model =
   Distribution.Normal_pair.to_normal ~points:model.Workloads.Stochastify.points

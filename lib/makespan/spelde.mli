@@ -3,6 +3,18 @@
     add moments, maxima use Clark's formulas — no convolution at all.
     The result is a normal approximation of the makespan distribution. *)
 
+val moments_with :
+  dgraph:Dag.Graph.t ->
+  ?completion:Distribution.Normal_pair.t array ->
+  task_moments:(task:int -> proc:int -> Distribution.Normal_pair.t) ->
+  comm_moments:(volume:float -> src:int -> dst:int -> Distribution.Normal_pair.t) ->
+  Sched.Schedule.t ->
+  Distribution.Normal_pair.t
+(** The moment propagation with injected duration/communication views —
+    the shared core behind {!moments} and the cached {!Engine} path.
+    [dgraph] must be the schedule's disjunctive graph; [?completion] is
+    optional caller-owned scratch (reused when long enough). *)
+
 val moments : Sched.Schedule.t -> Platform.t -> Workloads.Stochastify.t -> Distribution.Normal_pair.t
 (** Mean and standard deviation of the makespan estimate. *)
 

@@ -32,6 +32,20 @@ val compute :
     δ = 0.1 and γ = 1.0003 (override per case — §V notes they must be
     adapted to the weight scale). Requires [delta >= 0] and [gamma >= 1]. *)
 
+val of_engine :
+  ?delta:float ->
+  ?gamma:float ->
+  ?method_:[ `Classical | `Dodin | `Spelde ] ->
+  ?slack_mode:Sched.Slack.graph_mode ->
+  Makespan.Engine.t ->
+  Sched.Schedule.t ->
+  t
+(** All eight metrics from one {!Makespan.Engine.analyze} pass: the
+    makespan distribution and the slack levels share the engine's cached
+    durations and a single disjunctive graph. This is the path the
+    experiment sweeps take — create the engine once per case, then call
+    [of_engine] per schedule. *)
+
 val of_schedule :
   ?delta:float ->
   ?gamma:float ->
@@ -41,9 +55,9 @@ val of_schedule :
   Platform.t ->
   Workloads.Stochastify.t ->
   t
-(** End-to-end convenience: evaluates the makespan distribution (default
-    method [`Classical], the paper's choice) and the mean-weight slack
-    (default [`Disjunctive]), then {!compute}. *)
+(** End-to-end convenience: a one-shot engine around {!of_engine}
+    (default method [`Classical], the paper's choice; default slack
+    [`Disjunctive]). *)
 
 val to_array : t -> float array
 (** Values in {!labels} order. *)

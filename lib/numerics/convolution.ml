@@ -11,12 +11,45 @@ let direct a b =
   done;
   out
 
+(* Per-domain workspace: the four transform buffers are reused across
+   calls (one quadruple per power-of-two size, zeroed before use), so the
+   distribution algebra's hot path — thousands of small convolutions per
+   schedule sweep — stops allocating. Domain-local storage keeps parallel
+   evaluation race-free without locks. The FFT operates on whole arrays,
+   so buffers are keyed by their exact (power-of-two) length. *)
+type buffers = {
+  are : float array;
+  aim : float array;
+  bre : float array;
+  bim : float array;
+}
+
+let workspace_key : (int, buffers) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let workspace_buffers size =
+  let tbl = Domain.DLS.get workspace_key in
+  match Hashtbl.find_opt tbl size with
+  | Some w ->
+    Array.fill w.are 0 size 0.;
+    Array.fill w.aim 0 size 0.;
+    Array.fill w.bre 0 size 0.;
+    Array.fill w.bim 0 size 0.;
+    w
+  | None ->
+    let w =
+      { are = Array.make size 0.; aim = Array.make size 0.;
+        bre = Array.make size 0.; bim = Array.make size 0. }
+    in
+    Hashtbl.add tbl size w;
+    w
+
 let fft a b =
   let n = Array.length a and m = Array.length b in
   if n = 0 || m = 0 then invalid_arg "Convolution.fft: empty input";
   let size = Array_ops.next_pow2 (n + m - 1) in
-  let are = Array.make size 0. and aim = Array.make size 0. in
-  let bre = Array.make size 0. and bim = Array.make size 0. in
+  let w = workspace_buffers size in
+  let are = w.are and aim = w.aim and bre = w.bre and bim = w.bim in
   Array.blit a 0 are 0 n;
   Array.blit b 0 bre 0 m;
   Fft.forward are aim;

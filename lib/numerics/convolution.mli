@@ -11,7 +11,10 @@ val direct : float array -> float array -> float array
     [length a + length b − 1]. O(n·m). *)
 
 val fft : float array -> float array -> float array
-(** Same result via zero-padded FFT. O((n+m) log (n+m)). *)
+(** Same result via zero-padded FFT. O((n+m) log (n+m)). Transform
+    buffers come from a per-domain workspace (one quadruple per
+    power-of-two size), so repeated calls allocate only the result
+    array; safe to call concurrently from distinct domains. *)
 
 val overlap_add : ?block:int -> float array -> float array -> float array
 (** [overlap_add ?block a b] convolves [a] (the long signal) with [b] (the

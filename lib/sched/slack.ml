@@ -24,12 +24,13 @@ let summarize per_task makespan =
   in
   { per_task; total; mean; std = sqrt var; makespan }
 
+let of_weighted_graph g w =
+  summarize (Dag.Levels.slacks g w) (Dag.Levels.makespan g w)
+
 let compute ?(mode = `Disjunctive) sched platform model =
   let w = Disjunctive.weights sched platform model in
   match mode with
-  | `Disjunctive ->
-    let dgraph = Disjunctive.graph_of sched in
-    summarize (Dag.Levels.slacks dgraph w) (Dag.Levels.makespan dgraph w)
+  | `Disjunctive -> of_weighted_graph (Disjunctive.graph_of sched) w
   | `Precedence ->
     (* §IV read literally: levels on the precedence DAG, but M is the
        schedule's actual (mean-duration, eager) makespan, so idle time

@@ -31,6 +31,12 @@ type summary = {
   makespan : float;  (** reference makespan M *)
 }
 
+val of_weighted_graph : Dag.Graph.t -> Dag.Levels.weights -> summary
+(** Slack summary of an already-built weighted graph (levels + longest
+    path). Used by evaluation engines that hold the schedule's
+    disjunctive graph and mean weights already, so slack shares them with
+    the distribution propagation instead of rebuilding both. *)
+
 val compute :
   ?mode:graph_mode -> Schedule.t -> Platform.t -> Workloads.Stochastify.t -> summary
 (** Slack summary under mean durations. In [`Disjunctive] mode the

@@ -1,0 +1,240 @@
+(* The unified evaluation engine: equivalence with the legacy
+   per-schedule paths, cache behaviour, slack sharing, thread safety, and
+   the Runner's pilot-calibration fallback. *)
+
+let check_close = Tutil.check_close
+let check_close_abs = Tutil.check_close_abs
+
+let model11 = Workloads.Stochastify.make ~ul:1.1 ()
+
+let engine_of (graph, platform) =
+  Makespan.Engine.create ~graph ~platform ~model:model11
+
+(* mean/std plus the CDF on a probe grid spanning both supports *)
+let check_dists_equal name a b =
+  check_close (name ^ " mean") (Distribution.Dist.mean a) (Distribution.Dist.mean b);
+  check_close (name ^ " std") (Distribution.Dist.std a) (Distribution.Dist.std b);
+  let lo1, hi1 = Distribution.Dist.support a in
+  let lo2, hi2 = Distribution.Dist.support b in
+  let lo = Float.min lo1 lo2 and hi = Float.max hi1 hi2 in
+  for i = 0 to 8 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. 8.) in
+    check_close_abs
+      (Printf.sprintf "%s cdf@%.3f" name x)
+      (Distribution.Dist.cdf_at a x)
+      (Distribution.Dist.cdf_at b x)
+  done
+
+(* --- per-method equivalence on seeded random cases --- *)
+
+let equivalence_tests =
+  List.map
+    (fun method_ ->
+      let name = Makespan.Eval.method_name method_ in
+      Tutil.qcheck ~count:60
+        (Printf.sprintf "engine %s == legacy %s" name name)
+        Tutil.random_scheduled_gen
+        (fun (graph, platform, sched) ->
+          let legacy = Makespan.Eval.distribution ~method_ sched platform model11 in
+          let engine = engine_of (graph, platform) in
+          let cached =
+            Makespan.Engine.eval
+              ~backend:(Makespan.Engine.backend_of_method method_)
+              engine sched
+          in
+          check_dists_equal name legacy cached;
+          true))
+    Makespan.Eval.all_methods
+
+let montecarlo_backend_matches_legacy () =
+  let rng = Tutil.rng_of_seed 5 in
+  let graph = Workloads.Cholesky.generate ~tiles:3 () in
+  let platform =
+    Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks graph) ~n_procs:3 ()
+  in
+  let sched = Sched.Random_sched.generate ~rng ~graph ~n_procs:3 in
+  let seed = 1234L in
+  let count = 2000 in
+  let legacy =
+    Distribution.Empirical.to_dist
+      ~points:model11.Workloads.Stochastify.points
+      (Makespan.Montecarlo.run ~rng:(Prng.Xoshiro.create seed) ~count sched platform
+         model11)
+  in
+  let engine = engine_of (graph, platform) in
+  let backend = Makespan.Engine.Montecarlo { count; seed } in
+  let a = Makespan.Engine.eval ~backend engine sched in
+  let b = Makespan.Engine.eval ~backend engine sched in
+  check_dists_equal "mc engine vs legacy" legacy a;
+  check_dists_equal "mc deterministic" a b
+
+(* --- cache behaviour --- *)
+
+let fixture () =
+  let rng = Tutil.rng_of_seed 7 in
+  let graph = Workloads.Classic.fork_join ~width:6 ~volume:3. () in
+  let n_tasks = Dag.Graph.n_tasks graph in
+  let platform = Platform.Gen.uniform_minval ~rng ~n_tasks ~n_procs:3 () in
+  let s1 = Sched.Random_sched.generate ~rng ~graph ~n_procs:3 in
+  let s2 = Sched.Random_sched.generate ~rng ~graph ~n_procs:3 in
+  (graph, platform, s1, s2)
+
+let duration_cells_cached () =
+  let graph, platform, s1, _ = fixture () in
+  let engine = engine_of (graph, platform) in
+  ignore (Makespan.Engine.eval engine s1);
+  let first = Makespan.Engine.stats engine in
+  Alcotest.(check bool) "first eval fills cells" true (first.Makespan.Engine.task_misses > 0);
+  ignore (Makespan.Engine.eval engine s1);
+  let second = Makespan.Engine.stats engine in
+  Alcotest.(check int)
+    "re-eval builds no new duration cells" first.Makespan.Engine.task_misses
+    second.Makespan.Engine.task_misses;
+  Alcotest.(check bool)
+    "re-eval hits the duration cache" true
+    (second.Makespan.Engine.task_hits > first.Makespan.Engine.task_hits)
+
+let comm_cache_shared_across_schedules () =
+  let graph, platform, s1, s2 = fixture () in
+  let engine = engine_of (graph, platform) in
+  ignore (Makespan.Engine.eval engine s1);
+  let first = Makespan.Engine.stats engine in
+  Alcotest.(check bool)
+    "cross-proc edges built comm entries" true
+    (first.Makespan.Engine.comm_misses > 0);
+  ignore (Makespan.Engine.eval engine s2);
+  let second = Makespan.Engine.stats engine in
+  (* the network is homogeneous and every edge carries the same volume,
+     so the single cached weight serves the second schedule entirely *)
+  Alcotest.(check int)
+    "homogeneous network: one weight serves both schedules"
+    first.Makespan.Engine.comm_misses second.Makespan.Engine.comm_misses;
+  Alcotest.(check bool)
+    "second schedule hits the comm cache" true
+    (second.Makespan.Engine.comm_hits > first.Makespan.Engine.comm_hits)
+
+let create_rejects_mismatched_platform () =
+  let graph = Workloads.Classic.chain ~n:4 ~volume:0. () in
+  let rng = Tutil.rng_of_seed 3 in
+  let platform = Platform.Gen.uniform_minval ~rng ~n_tasks:9 ~n_procs:2 () in
+  Alcotest.check_raises "task-count mismatch"
+    (Invalid_argument "Engine.create: platform/graph task-count mismatch")
+    (fun () -> ignore (Makespan.Engine.create ~graph ~platform ~model:model11))
+
+(* --- metrics and slack share the engine's propagation --- *)
+
+let of_engine_matches_of_schedule () =
+  let graph, platform, s1, s2 = fixture () in
+  let engine = engine_of (graph, platform) in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun method_ ->
+          let a = Metrics.Robustness.of_engine ~method_ engine sched in
+          let b = Metrics.Robustness.of_schedule ~method_ sched platform model11 in
+          Array.iteri
+            (fun i expected ->
+              check_close
+                (Printf.sprintf "metric %s" Metrics.Robustness.labels.(i))
+                expected
+                (Metrics.Robustness.to_array a).(i))
+            (Metrics.Robustness.to_array b))
+        [ `Classical; `Dodin; `Spelde ])
+    [ s1; s2 ]
+
+let analyze_slack_matches_compute () =
+  let graph, platform, s1, _ = fixture () in
+  let engine = engine_of (graph, platform) in
+  List.iter
+    (fun mode ->
+      let via_engine = (Makespan.Engine.analyze ~slack_mode:mode engine s1).Makespan.Engine.slack in
+      let direct = Sched.Slack.compute ~mode s1 platform model11 in
+      check_close "slack total" direct.Sched.Slack.total via_engine.Sched.Slack.total;
+      check_close "slack std" direct.Sched.Slack.std via_engine.Sched.Slack.std;
+      check_close "slack makespan" direct.Sched.Slack.makespan via_engine.Sched.Slack.makespan;
+      Array.iteri
+        (fun i expected ->
+          check_close (Printf.sprintf "slack task %d" i) expected
+            via_engine.Sched.Slack.per_task.(i))
+        direct.Sched.Slack.per_task)
+    [ `Disjunctive; `Precedence ]
+
+(* --- domain safety: a shared engine under Par_array --- *)
+
+let parallel_sweep_matches_sequential () =
+  let rng = Tutil.rng_of_seed 11 in
+  let graph = Workloads.Random_dag.generate ~rng ~n:20 () in
+  let n_tasks = Dag.Graph.n_tasks graph in
+  let platform = Platform.Gen.uniform_minval ~rng ~n_tasks ~n_procs:4 () in
+  let scheds =
+    Array.of_list
+      (Sched.Random_sched.generate_many ~rng ~graph ~n_procs:4 ~count:24)
+  in
+  let engine = engine_of (graph, platform) in
+  let parallel =
+    Parallel.Par_array.init ~domains:4 ~chunk_size:2 (Array.length scheds) (fun i ->
+        let d = Makespan.Engine.eval engine scheds.(i) in
+        (Distribution.Dist.mean d, Distribution.Dist.std d))
+  in
+  Array.iteri
+    (fun i (mu, sigma) ->
+      let d = Makespan.Classic.run scheds.(i) platform model11 in
+      check_close (Printf.sprintf "parallel mean %d" i) (Distribution.Dist.mean d) mu;
+      check_close (Printf.sprintf "parallel std %d" i) (Distribution.Dist.std d) sigma)
+    parallel
+
+(* --- Runner pilot fallback (count = 0) --- *)
+
+let runner_zero_count_falls_back_to_heuristics () =
+  let case =
+    Experiments.Case.make ~kind:Experiments.Case.Cholesky ~n_target:10 ~n_procs:3 ~ul:1.1
+      ()
+  in
+  let result = Experiments.Runner.run ~domains:2 ~count:0 case in
+  Alcotest.(check int) "no random rows" 0
+    (Array.length (Experiments.Runner.random_rows result));
+  let heuristic = Experiments.Runner.heuristic_rows result in
+  Alcotest.(check int) "all heuristics evaluated"
+    (List.length Experiments.Runner.heuristics)
+    (List.length heuristic);
+  Alcotest.(check bool) "calibrated delta positive" true (result.Experiments.Runner.delta > 0.);
+  Alcotest.(check bool) "calibrated gamma > 1" true (result.Experiments.Runner.gamma > 1.);
+  List.iter
+    (fun (name, row) ->
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) (name ^ " metrics finite") true (Float.is_finite v))
+        row)
+    heuristic
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "equivalence",
+        equivalence_tests
+        @ [
+            Alcotest.test_case "montecarlo backend" `Slow montecarlo_backend_matches_legacy;
+          ] );
+      ( "caching",
+        [
+          Alcotest.test_case "duration cells" `Quick duration_cells_cached;
+          Alcotest.test_case "comm cache across schedules" `Quick
+            comm_cache_shared_across_schedules;
+          Alcotest.test_case "mismatched platform" `Quick create_rejects_mismatched_platform;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "of_engine == of_schedule" `Quick of_engine_matches_of_schedule;
+          Alcotest.test_case "slack modes" `Quick analyze_slack_matches_compute;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "shared engine under domains" `Quick
+            parallel_sweep_matches_sequential;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "count=0 pilot fallback" `Quick
+            runner_zero_count_falls_back_to_heuristics;
+        ] );
+    ]
