@@ -40,12 +40,39 @@ let out_arg =
     & info [ "out" ] ~docv:"DIR" ~doc:"Also write CSV data (and gnuplot scripts) to $(docv).")
 
 let verbose_arg =
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Log sweep progress to stderr.")
+  Arg.(
+    value & flag_all
+    & info [ "v"; "verbose" ]
+        ~doc:"Log sweep progress to stderr (info); repeat ($(b,-vv)) for debug detail.")
 
-let setup_logging verbose =
-  if verbose then begin
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record span traces and write them to $(docv) as Chrome trace-event JSON \
+           (open in chrome://tracing or ui.perfetto.dev).")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Record engine/pool/Monte-Carlo counters and write the merged registry to \
+           $(docv) as JSON.")
+
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ] ~doc:"Report per-sweep rate/ETA and phase GC stats to stderr.")
+
+let setup_logging verbosity =
+  if verbosity > 0 then begin
     Logs.set_reporter (Logs.format_reporter ());
-    Logs.Src.set_level E.Elog.src (Some Logs.Info)
+    Logs.Src.set_level E.Elog.src
+      (Some (if verbosity >= 2 then Logs.Debug else Logs.Info))
   end
 
 type ctx = {
@@ -53,6 +80,8 @@ type ctx = {
   domains : int option;
   seed : int64;
   out : string option;
+  trace : string option;
+  metrics : string option;
 }
 
 let save ctx name content =
@@ -253,12 +282,36 @@ let run_all ctx =
 
 let ctx_term =
   Term.(
-    const (fun scale domains seed out verbose ->
-        setup_logging verbose;
-        { scale; domains; seed; out })
-    $ scale_arg $ domains_arg $ seed_arg $ out_arg $ verbose_arg)
+    const (fun scale domains seed out verbose trace metrics progress ->
+        setup_logging (List.length verbose);
+        if trace <> None then Obs.Span.set_enabled true;
+        if metrics <> None then Obs.Metrics.set_enabled true;
+        if progress then Obs.Progress.set_enabled true;
+        { scale; domains; seed; out; trace; metrics })
+    $ scale_arg $ domains_arg $ seed_arg $ out_arg $ verbose_arg $ trace_arg
+    $ metrics_arg $ progress_arg)
 
-let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const f $ ctx_term)
+(* Telemetry sinks flush once, after the command body: the trace file
+   holds every span of the run, the metrics file the merged registry
+   (counters/gauges/histograms + span summary + phase GC reports). *)
+let write_sink path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc;
+  (* stderr, so stdout stays bit-identical with sinks on and off *)
+  Printf.eprintf "[wrote %s]\n%!" path
+
+let finalize ctx =
+  Option.iter (fun path -> write_sink path (Obs.Report.json ())) ctx.metrics;
+  Option.iter (fun path -> write_sink path (Obs.Span.export_chrome ())) ctx.trace
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const (fun ctx ->
+          f ctx;
+          finalize ctx)
+      $ ctx_term)
 
 let case_cmd name doc f =
   Cmd.v (Cmd.info name ~doc)

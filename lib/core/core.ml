@@ -46,6 +46,7 @@ module Correlation = Stats.Correlation
 module Distance = Stats.Distance
 module Bootstrap = Stats.Bootstrap
 module Experiments = Experiments
+module Obs = Obs
 
 (** {1 Workload generators} *)
 

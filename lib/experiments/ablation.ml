@@ -29,6 +29,7 @@ let sweep_correlations ?domains ~scale ~rng graph platform model =
   (Stats.Correlation.pearson mk sd, Stats.Correlation.pearson sd late)
 
 let correlation_under_variable_ul ?domains ?(scale = Scale.of_env ()) ?(seed = 51L) () =
+  Obs.Progress.phase "ablation:variable-ul" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let graph = Workloads.Random_dag.generate ~rng ~n:30 () in
   let platform =
@@ -70,6 +71,7 @@ type shape_row = {
 }
 
 let cluster_under_shapes ?domains ?(scale = Scale.of_env ()) ?(seed = 61L) () =
+  Obs.Progress.phase "ablation:shapes" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let graph = Workloads.Random_dag.generate ~rng ~n:25 () in
   let platform =
@@ -121,6 +123,7 @@ let pareto_front points =
     points
 
 let pareto_front_study ?domains ?(scale = Scale.of_env ()) ?(seed = 71L) () =
+  Obs.Progress.phase "ablation:pareto" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let graph = Workloads.Random_dag.generate ~rng ~n:30 () in
   let platform =
@@ -198,6 +201,7 @@ type tradeoff_point = {
 }
 
 let robust_heft_tradeoff ?(seed = 17L) ?(kappas = [ 0.; 0.5; 1.; 2.; 4. ]) () =
+  Obs.Progress.phase "ablation:tradeoff" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let graph = Workloads.Random_dag.generate ~rng ~n:40 () in
   let platform =

@@ -64,40 +64,48 @@ let random_count sources =
 let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
   let cases = match cases with Some c -> c | None -> Case.paper_cases () in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let progress = Obs.Progress.create ~total:(List.length cases) "campaign" in
   let results =
-    List.map
-      (fun case ->
-        let path = Filename.concat dir (case.Case.id ^ ".csv") in
-        let wanted = Scale.schedules scale case.Case.paper_schedules in
-        let checkpoint =
-          if Sys.file_exists path then
-            match load_rows path with
-            | pairs when random_count (Array.map fst pairs) >= wanted -> Some pairs
-            | _ | (exception Invalid_argument _) -> None
-          else None
-        in
-        match checkpoint with
-        | Some pairs ->
-          Elog.info "campaign: %s loaded from checkpoint (%d rows)" case.Case.id
-            (Array.length pairs);
-          {
-            case;
-            rows = Array.map snd pairs;
-            sources = Array.map fst pairs;
-            from_checkpoint = true;
-          }
-        | None ->
-          let result = Runner.run ?domains ~scale ?slack_mode case in
-          ignore (Export.write_file ~dir ~name:(case.Case.id ^ ".csv")
-                    (Export.schedules_csv result));
-          {
-            case;
-            rows = result.Runner.rows;
-            sources = result.Runner.sources;
-            from_checkpoint = false;
-          })
-      cases
+    Obs.Progress.phase "campaign" (fun () ->
+        List.map
+          (fun case ->
+            let path = Filename.concat dir (case.Case.id ^ ".csv") in
+            let wanted = Scale.schedules scale case.Case.paper_schedules in
+            let checkpoint =
+              if Sys.file_exists path then
+                match load_rows path with
+                | pairs when random_count (Array.map fst pairs) >= wanted -> Some pairs
+                | _ | (exception Invalid_argument _) -> None
+              else None
+            in
+            let result =
+              match checkpoint with
+              | Some pairs ->
+                Elog.info "campaign: %s loaded from checkpoint (%d rows)" case.Case.id
+                  (Array.length pairs);
+                {
+                  case;
+                  rows = Array.map snd pairs;
+                  sources = Array.map fst pairs;
+                  from_checkpoint = true;
+                }
+              | None ->
+                Elog.debug "campaign: %s has no usable checkpoint, sweeping" case.Case.id;
+                let result = Runner.run ?domains ~scale ?slack_mode case in
+                ignore (Export.write_file ~dir ~name:(case.Case.id ^ ".csv")
+                          (Export.schedules_csv result));
+                {
+                  case;
+                  rows = result.Runner.rows;
+                  sources = result.Runner.sources;
+                  from_checkpoint = false;
+                }
+            in
+            Obs.Progress.tick progress;
+            result)
+          cases)
   in
+  Obs.Progress.finish progress;
   let matrices =
     List.map
       (fun r ->

@@ -3,3 +3,18 @@ let src = Logs.Src.create "repro.experiments" ~doc:"experiment sweep progress"
 module Log = (val Logs.src_log src : Logs.LOG)
 
 let info fmt = Format.kasprintf (fun s -> Log.info (fun m -> m "%s" s)) fmt
+let debug fmt = Format.kasprintf (fun s -> Log.debug (fun m -> m "%s" s)) fmt
+
+let time fmt =
+  Format.kasprintf
+    (fun label f ->
+      let t0 = Unix.gettimeofday () in
+      let finish () = info "%s: %.3f s" label (Unix.gettimeofday () -. t0) in
+      match f () with
+      | v ->
+        finish ();
+        v
+      | exception e ->
+        finish ();
+        raise e)
+    fmt

@@ -21,6 +21,7 @@ let evaluate_one ?domains ~rng ~mc_count graph n_procs model =
     Stats.Distance.cm_area (Analytic dist) (Sampled emp) )
 
 let run ?domains ?(scale = Scale.of_env ()) ?(seed = 11L) () =
+  Obs.Progress.phase "fig1" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let model = Workloads.Stochastify.make ~ul:1.1 () in
   let sizes = [ 10; 30; 100 ] @ (if scale.Scale.include_n1000 then [ 1000 ] else []) in

@@ -7,6 +7,7 @@ type t = {
 }
 
 let run ?domains ?(scale = Scale.of_env ()) ?(seed = 21L) () =
+  Obs.Progress.phase "fig2" @@ fun () ->
   let rng = Prng.Xoshiro.create seed in
   let model = Workloads.Stochastify.make ~ul:1.1 () in
   let n = 100 in

@@ -10,6 +10,7 @@ type t = row list
 
 let run ?(n_tasks = 12) ?(ul = 1.1) () =
   if n_tasks < 4 then invalid_arg "Fig9.run: need at least 4 parallel tasks";
+  Obs.Progress.phase "fig9" @@ fun () ->
   let graph = Workloads.Classic.join ~n:n_tasks ~volume:0. () in
   let join = n_tasks in
   let n_procs = n_tasks in

@@ -57,6 +57,7 @@ let default_cases () =
     Case.make ~kind:Case.Gauss_elim ~n_target:103 ~n_procs:16 ~ul:1.1 () ]
 
 let methods_vs_mc ?domains ?(scale = Scale.of_env ()) ?cases () =
+  Obs.Progress.phase "intext:methods" @@ fun () ->
   let cases = match cases with Some c -> c | None -> default_cases () in
   List.concat_map
     (fun case ->

@@ -49,6 +49,8 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ?count case =
       pilot_scheds
   in
   let delta, gamma = Metrics.Robustness.calibrate_bounds pilot in
+  Elog.debug "case %s: calibrated bounds on %d pilot schedules (δ=%.3g, γ=%.6g)"
+    case.Case.id (List.length pilot) delta gamma;
   let all_scheds =
     Array.append random_scheds (Array.of_list (List.map snd heuristic_scheds))
   in
@@ -59,11 +61,26 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ?count case =
   in
   Elog.info "case %s: evaluating %d schedules (δ=%.3g, γ=%.6g)" case.Case.id
     (Array.length all_scheds) delta gamma;
-  let rows =
-    Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length all_scheds) (fun i ->
-        Metrics.Robustness.to_array
-          (Metrics.Robustness.of_engine ~delta ~gamma ?slack_mode engine all_scheds.(i)))
+  let progress =
+    Obs.Progress.create ~total:(Array.length all_scheds) ("case " ^ case.Case.id)
   in
+  let rows =
+    Obs.Span.with_ ~name:"runner.sweep" (fun () ->
+        Parallel.Par_array.init ?domains ~chunk_size:16 (Array.length all_scheds)
+          (fun i ->
+            let row =
+              Metrics.Robustness.to_array
+                (Metrics.Robustness.of_engine ~delta ~gamma ?slack_mode engine
+                   all_scheds.(i))
+            in
+            Obs.Progress.tick progress;
+            row))
+  in
+  Obs.Progress.finish progress;
+  let s = Makespan.Engine.stats engine in
+  Elog.debug "case %s: engine task %d/%d hit/miss, comm %d/%d hit/miss, %d evals"
+    case.Case.id s.Makespan.Engine.task_hits s.Makespan.Engine.task_misses
+    s.Makespan.Engine.comm_hits s.Makespan.Engine.comm_misses s.Makespan.Engine.evals;
   Elog.info "case %s: done" case.Case.id;
   { instance; delta; gamma; sources; rows }
 

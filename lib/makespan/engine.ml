@@ -42,7 +42,30 @@ type stats = {
   comm_hits : int;
   comm_misses : int;  (** distinct communication weights built *)
   evals : int;
+  evals_classical : int;
+  evals_dodin : int;
+  evals_spelde : int;
+  evals_montecarlo : int;
 }
+
+(* Global observability mirrors of the per-engine counters: every engine
+   feeds the same process-wide registry, so `repro --metrics` sees the
+   whole sweep without holding on to engines. No-ops (one atomic load)
+   unless metrics are enabled. *)
+let m_task_hits = Obs.Metrics.counter "engine.task_hits"
+let m_task_misses = Obs.Metrics.counter "engine.task_misses"
+let m_comm_hits = Obs.Metrics.counter "engine.comm_hits"
+let m_comm_misses = Obs.Metrics.counter "engine.comm_misses"
+let m_evals_classical = Obs.Metrics.counter "engine.evals.classical"
+let m_evals_dodin = Obs.Metrics.counter "engine.evals.dodin"
+let m_evals_spelde = Obs.Metrics.counter "engine.evals.spelde"
+let m_evals_montecarlo = Obs.Metrics.counter "engine.evals.montecarlo"
+
+let span_name = function
+  | Classical -> "engine.eval.classical"
+  | Dodin -> "engine.eval.dodin"
+  | Spelde -> "engine.eval.spelde"
+  | Montecarlo _ -> "engine.eval.montecarlo"
 
 type scratch = {
   mutable dists : Distribution.Dist.t array;
@@ -66,8 +89,15 @@ type t = {
   comm_hits : int Atomic.t;
   comm_misses : int Atomic.t;
   evals : int Atomic.t;
+  evals_by_backend : int Atomic.t array; (* Classical, Dodin, Spelde, Montecarlo *)
   scratch : scratch Domain.DLS.key;
 }
+
+let backend_slot = function
+  | Classical -> 0
+  | Dodin -> 1
+  | Spelde -> 2
+  | Montecarlo _ -> 3
 
 let create ~graph ~platform ~model =
   let n_tasks = Dag.Graph.n_tasks graph in
@@ -97,6 +127,7 @@ let create ~graph ~platform ~model =
     comm_hits = Atomic.make 0;
     comm_misses = Atomic.make 0;
     evals = Atomic.make 0;
+    evals_by_backend = Array.init 4 (fun _ -> Atomic.make 0);
     scratch = Domain.DLS.new_key (fun () -> { dists = [||]; pairs = [||] });
   }
 
@@ -111,7 +142,19 @@ let stats t =
     comm_hits = Atomic.get t.comm_hits;
     comm_misses = Atomic.get t.comm_misses;
     evals = Atomic.get t.evals;
+    evals_classical = Atomic.get t.evals_by_backend.(0);
+    evals_dodin = Atomic.get t.evals_by_backend.(1);
+    evals_spelde = Atomic.get t.evals_by_backend.(2);
+    evals_montecarlo = Atomic.get t.evals_by_backend.(3);
   }
+
+let reset_stats t =
+  Atomic.set t.task_hits 0;
+  Atomic.set t.task_misses 0;
+  Atomic.set t.comm_hits 0;
+  Atomic.set t.comm_misses 0;
+  Atomic.set t.evals 0;
+  Array.iter (fun a -> Atomic.set a 0) t.evals_by_backend
 
 (* ------------------------------------------------------------------ *)
 (* Cached distribution views                                           *)
@@ -122,9 +165,11 @@ let task_dist t ~task ~proc =
   match cell with
   | Some d ->
     Atomic.incr t.task_hits;
+    Obs.Metrics.incr m_task_hits;
     d
   | None ->
     Atomic.incr t.task_misses;
+    Obs.Metrics.incr m_task_misses;
     let d = Workloads.Stochastify.task_dist t.model t.platform ~task ~proc in
     Mutex.protect t.lock (fun () ->
         match t.task_tbl.(task).(proc) with
@@ -141,9 +186,11 @@ let comm_dist t ~volume ~src ~dst =
     match cached with
     | Some d ->
       Atomic.incr t.comm_hits;
+      Obs.Metrics.incr m_comm_hits;
       d
     | None ->
       Atomic.incr t.comm_misses;
+      Obs.Metrics.incr m_comm_misses;
       let d = Workloads.Stochastify.dist t.model w in
       Mutex.protect t.lock (fun () ->
           match Hashtbl.find_opt t.comm_tbl w with
@@ -230,25 +277,48 @@ let dist_of_backend t ~dgraph backend sched =
     Distribution.Empirical.to_dist ~points:t.points
       (Montecarlo.run ~rng ~count sched t.platform t.model)
 
-let eval ?(backend = Classical) t sched =
-  check_schedule t sched;
+let count_eval t backend =
   Atomic.incr t.evals;
+  Atomic.incr t.evals_by_backend.(backend_slot backend);
+  match backend with
+  | Classical -> Obs.Metrics.incr m_evals_classical
+  | Dodin -> Obs.Metrics.incr m_evals_dodin
+  | Spelde -> Obs.Metrics.incr m_evals_spelde
+  | Montecarlo _ -> Obs.Metrics.incr m_evals_montecarlo
+
+let eval_dist t backend sched =
   let dgraph = Sched.Disjunctive.graph_of sched in
   dist_of_backend t ~dgraph backend sched
+
+let eval ?(backend = Classical) t sched =
+  check_schedule t sched;
+  count_eval t backend;
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:(span_name backend) (fun () -> eval_dist t backend sched)
+  else eval_dist t backend sched
 
 type evaluation = {
   makespan : Distribution.Dist.t;
   slack : Sched.Slack.summary;
 }
 
-let analyze ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
-  check_schedule t sched;
-  Atomic.incr t.evals;
+let analyze_parts t backend slack_mode sched =
   let dgraph = Sched.Disjunctive.graph_of sched in
   let makespan = dist_of_backend t ~dgraph backend sched in
-  let slack =
+  let slack () =
     match slack_mode with
     | `Disjunctive -> Sched.Slack.of_weighted_graph dgraph (mean_weights t sched)
     | `Precedence -> Sched.Slack.compute ~mode:`Precedence sched t.platform t.model
   in
+  let slack =
+    if Obs.Span.enabled () then Obs.Span.with_ ~name:"engine.slack" slack else slack ()
+  in
   { makespan; slack }
+
+let analyze ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
+  check_schedule t sched;
+  count_eval t backend;
+  if Obs.Span.enabled () then
+    Obs.Span.with_ ~name:(span_name backend) (fun () ->
+        analyze_parts t backend slack_mode sched)
+  else analyze_parts t backend slack_mode sched

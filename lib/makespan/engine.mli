@@ -91,9 +91,17 @@ type stats = {
   task_misses : int;  (** filled (task, proc) duration cells *)
   comm_hits : int;
   comm_misses : int;  (** distinct communication weights built *)
-  evals : int;
+  evals : int;  (** total [eval]/[analyze] calls *)
+  evals_classical : int;
+  evals_dodin : int;
+  evals_spelde : int;
+  evals_montecarlo : int;
 }
 
 val stats : t -> stats
 (** Snapshot of the cache counters (atomic reads; approximate under
     concurrent evaluation). *)
+
+val reset_stats : t -> unit
+(** Zero every counter, so benchmarks can measure phases independently.
+    Call between phases, not under concurrent evaluation. *)

@@ -1,7 +1,18 @@
+(* Cumulative sampling telemetry: counters feed `--metrics`, the gauge
+   holds the cumulative samples/sec over every run so far. The atomics
+   back the gauge so the rate survives without reading the registry. *)
+let m_samples = Obs.Metrics.counter "montecarlo.samples"
+let m_elapsed_us = Obs.Metrics.counter "montecarlo.elapsed_us"
+let g_rate = Obs.Metrics.gauge "montecarlo.samples_per_sec"
+let total_samples = Atomic.make 0
+let total_us = Atomic.make 0
+
 let realizations ?domains ?(chunk_size = 256) ?(antithetic = false) ~rng ~count sched
     platform model =
   if count <= 0 then invalid_arg "Montecarlo: count must be positive";
   if chunk_size <= 0 then invalid_arg "Montecarlo: chunk_size must be positive";
+  let instrumented = Obs.Metrics.enabled () in
+  let t_start = if instrumented then Unix.gettimeofday () else 0. in
   let count = if antithetic && count mod 2 = 1 then count + 1 else count in
   let chunk_size = if antithetic && chunk_size mod 2 = 1 then chunk_size + 1 else chunk_size in
   let plan = Sched.Simulator.prepare sched in
@@ -17,7 +28,8 @@ let realizations ?domains ?(chunk_size = 256) ?(antithetic = false) ~rng ~count 
   (* one deterministic stream per chunk, independent of the domain count *)
   let streams = Array.init chunks (fun _ -> Prng.Xoshiro.split rng) in
   let out = Array.make count 0. in
-  Parallel.Pool.run ?domains ~chunks (fun c ->
+  let run_chunks () =
+    Parallel.Pool.run ?domains ~chunks (fun c ->
       let chunk_rng = streams.(c) in
       let lo = c * chunk_size in
       let hi = Int.min count (lo + chunk_size) in
@@ -86,7 +98,19 @@ let realizations ?domains ?(chunk_size = 256) ?(antithetic = false) ~rng ~count 
             Sched.Simulator.run plan ~task_dur:task_dur_fn ~comm_dur:comm_dur_fn
           in
           out.(r) <- times.Sched.Simulator.makespan
-        done);
+        done)
+  in
+  if Obs.Span.enabled () then Obs.Span.with_ ~name:"montecarlo.run" run_chunks
+  else run_chunks ();
+  if instrumented then begin
+    let us = (Unix.gettimeofday () -. t_start) *. 1e6 in
+    Obs.Metrics.add m_samples count;
+    Obs.Metrics.add m_elapsed_us (int_of_float us);
+    let samples = Atomic.fetch_and_add total_samples count + count in
+    let elapsed = Atomic.fetch_and_add total_us (int_of_float us) + int_of_float us in
+    if elapsed > 0 then
+      Obs.Metrics.set g_rate (float_of_int samples /. (float_of_int elapsed /. 1e6))
+  end;
   out
 
 let run ?domains ?chunk_size ?antithetic ~rng ~count sched platform model =

@@ -27,6 +27,12 @@ type buffers = {
 let workspace_key : (int, buffers) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
+(* Workspace growth telemetry: each first-touch of a (domain, size) pair
+   allocates four [size]-float buffers; the counters record how often and
+   how many words, so sweeps can attribute allocation to FFT scratch. *)
+let m_ws_allocs = Obs.Metrics.counter "fft.workspace_allocs"
+let m_ws_words = Obs.Metrics.counter "fft.workspace_words"
+
 let workspace_buffers size =
   let tbl = Domain.DLS.get workspace_key in
   match Hashtbl.find_opt tbl size with
@@ -37,6 +43,8 @@ let workspace_buffers size =
     Array.fill w.bim 0 size 0.;
     w
   | None ->
+    Obs.Metrics.incr m_ws_allocs;
+    Obs.Metrics.add m_ws_words (4 * size);
     let w =
       { are = Array.make size 0.; aim = Array.make size 0.;
         bre = Array.make size 0.; bim = Array.make size 0. }

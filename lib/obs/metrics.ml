@@ -1,0 +1,246 @@
+(* Process-wide metrics registry with per-domain shards.
+
+   Counters and histograms are written through domain-local shards
+   (Domain.DLS): an increment touches only the writer's own arrays, so
+   Pool workers never contend on a cache line. [snapshot] merges every
+   shard under the registry lock. Gauges are last-write-wins and coarse
+   (set once per sweep/phase), so they live in plain global atomics.
+
+   Everything is gated on one atomic [enabled] flag: when sinks are off,
+   an increment is a single atomic load and a branch — no allocation, no
+   shard lookup — which is what keeps the instrumented hot paths within
+   noise of the uninstrumented ones. *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type kind =
+  | Counter_kind
+  | Hist_kind of float array (* strictly increasing bucket upper bounds *)
+
+type counter = int
+type histogram = { hid : int; bounds : float array }
+
+let registry_lock = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 32
+let metric_names : string array ref = ref [||]
+let kinds : kind array ref = ref [||]
+
+let same_kind a b =
+  match (a, b) with
+  | Counter_kind, Counter_kind -> true
+  | Hist_kind x, Hist_kind y -> x = y
+  | _ -> false
+
+let register name kind =
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt ids name with
+      | Some id ->
+        if not (same_kind (!kinds).(id) kind) then
+          invalid_arg
+            (Printf.sprintf "Obs.Metrics: %S re-registered with a different kind" name);
+        id
+      | None ->
+        let id = Array.length !kinds in
+        kinds := Array.append !kinds [| kind |];
+        metric_names := Array.append !metric_names [| name |];
+        Hashtbl.add ids name id;
+        id)
+
+let counter name = register name Counter_kind
+
+let default_buckets =
+  (* decade buckets, roughly µs..17min when observing seconds *)
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1000. |]
+
+let histogram ?(buckets = default_buckets) name =
+  if Array.length buckets = 0 then invalid_arg "Obs.Metrics.histogram: empty buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && buckets.(i - 1) >= b then
+        invalid_arg "Obs.Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  let bounds = Array.copy buckets in
+  { hid = register name (Hist_kind bounds); bounds }
+
+(* ------------------------------------------------------------------ *)
+(* Shards                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type hist_cell = {
+  counts : int array; (* one per bound + overflow *)
+  mutable sum : float;
+}
+
+type shard = {
+  mutable counters : int array; (* indexed by metric id *)
+  mutable hists : hist_cell option array; (* indexed by metric id *)
+}
+
+let shards_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { counters = [||]; hists = [||] } in
+      Mutex.protect shards_lock (fun () -> shards := s :: !shards);
+      s)
+
+(* Only the owning domain grows (or writes) its shard; the snapshot's
+   racy reads of other shards are approximate while a sweep runs and
+   exact once the domains have joined. *)
+let ensure s id =
+  if id >= Array.length s.counters then begin
+    let n = Mutex.protect registry_lock (fun () -> Array.length !kinds) in
+    let counters = Array.make n 0 in
+    Array.blit s.counters 0 counters 0 (Array.length s.counters);
+    let hists = Array.make n None in
+    Array.blit s.hists 0 hists 0 (Array.length s.hists);
+    s.counters <- counters;
+    s.hists <- hists
+  end
+
+let add c n =
+  if Atomic.get enabled_flag then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s c;
+    s.counters.(c) <- s.counters.(c) + n
+  end
+
+let incr c = add c 1
+
+(* index of the first bound >= v; [Array.length bounds] = overflow *)
+let bucket_index bounds v =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if bounds.(mid) >= v then go lo mid else go (mid + 1) hi
+  in
+  go 0 (Array.length bounds)
+
+let observe h v =
+  if Atomic.get enabled_flag then begin
+    let s = Domain.DLS.get shard_key in
+    ensure s h.hid;
+    let cell =
+      match s.hists.(h.hid) with
+      | Some c -> c
+      | None ->
+        let c = { counts = Array.make (Array.length h.bounds + 1) 0; sum = 0. } in
+        s.hists.(h.hid) <- Some c;
+        c
+    in
+    let i = bucket_index h.bounds v in
+    cell.counts.(i) <- cell.counts.(i) + 1;
+    cell.sum <- cell.sum +. v
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Gauges                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type gauge = { gname : string; cell : float Atomic.t }
+
+let gauges_lock = Mutex.create ()
+let gauges : gauge list ref = ref []
+
+let gauge name =
+  Mutex.protect gauges_lock (fun () ->
+      match List.find_opt (fun g -> g.gname = name) !gauges with
+      | Some g -> g
+      | None ->
+        let g = { gname = name; cell = Atomic.make Float.nan } in
+        gauges := g :: !gauges;
+        g)
+
+let set g v = if Atomic.get enabled_flag then Atomic.set g.cell v
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot / merge                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type hist_value = {
+  bounds : float array;
+  counts : int array; (* per bound, plus a final overflow bucket *)
+  total : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * hist_value) list;
+}
+
+let snapshot () =
+  Mutex.protect registry_lock (fun () ->
+      let kinds = !kinds and names = !metric_names in
+      let n = Array.length kinds in
+      let shard_list = Mutex.protect shards_lock (fun () -> !shards) in
+      let counter_acc = Array.make n 0 in
+      let hist_count_acc =
+        Array.map
+          (function Hist_kind b -> Array.make (Array.length b + 1) 0 | Counter_kind -> [||])
+          kinds
+      in
+      let hist_sum_acc = Array.make n 0. in
+      List.iter
+        (fun (s : shard) ->
+          let m = Int.min n (Array.length s.counters) in
+          for id = 0 to m - 1 do
+            counter_acc.(id) <- counter_acc.(id) + s.counters.(id);
+            match s.hists.(id) with
+            | None -> ()
+            | Some cell ->
+              let acc = hist_count_acc.(id) in
+              Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) cell.counts;
+              hist_sum_acc.(id) <- hist_sum_acc.(id) +. cell.sum
+          done)
+        shard_list;
+      let counters = ref [] and histograms = ref [] in
+      for id = n - 1 downto 0 do
+        match kinds.(id) with
+        | Counter_kind -> counters := (names.(id), counter_acc.(id)) :: !counters
+        | Hist_kind bounds ->
+          let counts = hist_count_acc.(id) in
+          histograms :=
+            ( names.(id),
+              {
+                bounds;
+                counts;
+                total = Array.fold_left ( + ) 0 counts;
+                sum = hist_sum_acc.(id);
+              } )
+            :: !histograms
+      done;
+      let gauge_values =
+        Mutex.protect gauges_lock (fun () ->
+            List.rev_map (fun g -> (g.gname, Atomic.get g.cell)) !gauges)
+        |> List.filter (fun (_, v) -> not (Float.is_nan v))
+      in
+      { counters = !counters; gauges = gauge_values; histograms = !histograms })
+
+let find_counter snapshot name = List.assoc_opt name snapshot.counters
+
+let reset () =
+  Mutex.protect registry_lock (fun () ->
+      Mutex.protect shards_lock (fun () ->
+          List.iter
+            (fun (s : shard) ->
+              Array.fill s.counters 0 (Array.length s.counters) 0;
+              Array.iter
+                (function
+                  | None -> ()
+                  | Some (cell : hist_cell) ->
+                    Array.fill cell.counts 0 (Array.length cell.counts) 0;
+                    cell.sum <- 0.)
+                s.hists)
+            !shards);
+      Mutex.protect gauges_lock (fun () ->
+          List.iter (fun g -> Atomic.set g.cell Float.nan) !gauges))

@@ -1,0 +1,67 @@
+(** Process-wide metrics registry: atomic-flag-gated counters, gauges
+    and fixed-bucket histograms, sharded per domain.
+
+    Increments go to a domain-local shard (no contention between
+    {!Parallel.Pool} workers); {!snapshot} merges every shard on read.
+    All write paths are gated on {!enabled}: when sinks are off an
+    increment is one atomic load and a branch — no allocation — so
+    instrumented hot paths stay within noise of uninstrumented ones.
+
+    Registration ({!counter}, {!gauge}, {!histogram}) is idempotent by
+    name and cheap enough to do at module initialization; handles are
+    plain values, safe to share across domains. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : string -> counter
+(** Registers (or returns the existing) monotonic counter.
+    Raises [Invalid_argument] if [name] is already a histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+type gauge
+
+val gauge : string -> gauge
+(** Last-write-wins float value (not sharded; set once per phase). *)
+
+val set : gauge -> float -> unit
+
+type histogram
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Fixed-bucket histogram; [buckets] are strictly increasing upper
+    bounds (default: decades from [1e-6] to [1e3]). An extra overflow
+    bucket catches values above the last bound. *)
+
+val observe : histogram -> float -> unit
+
+(** {1 Snapshot / merge} *)
+
+type hist_value = {
+  bounds : float array;
+  counts : int array;  (** one per bound, plus a final overflow bucket *)
+  total : int;
+  sum : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;  (** only gauges that were set *)
+  histograms : (string * hist_value) list;
+}
+
+val snapshot : unit -> snapshot
+(** Merge of all shards, in registration order. Exact once concurrent
+    writers have joined; approximate (racy reads) while they run. *)
+
+val find_counter : snapshot -> string -> int option
+
+val reset : unit -> unit
+(** Zero every shard and gauge. Only meaningful while no other domain is
+    writing (between phases/benchmark runs). *)

@@ -1,15 +1,38 @@
 let default_domains () = Int.max 1 (Domain.recommended_domain_count () - 1)
 
+(* Telemetry (active only while Obs sinks are enabled): every chunk gets
+   a "pool.chunk" span, and each worker accumulates its busy time and
+   chunk count into a slot-private cell. After the join the totals feed
+   the registry, including the imbalance ratio — max worker busy time
+   over the mean across workers that ran at least one chunk (1.0 =
+   perfectly balanced). *)
+let m_chunks = Obs.Metrics.counter "pool.chunks"
+let m_busy_us = Obs.Metrics.counter "pool.busy_us"
+let m_runs = Obs.Metrics.counter "pool.runs"
+let g_imbalance = Obs.Metrics.gauge "pool.imbalance"
+
 let run ?domains ~chunks f =
   if chunks < 0 then invalid_arg "Pool.run: negative chunk count";
   let domains = match domains with Some d -> Int.max 1 d | None -> default_domains () in
+  let instrumented = Obs.Metrics.enabled () || Obs.Span.enabled () in
   let next = Atomic.make 0 in
   let failure = Atomic.make None in
-  let worker () =
+  let helpers = Int.min (domains - 1) (Int.max 0 (chunks - 1)) in
+  let n_workers = helpers + 1 in
+  let busy = Array.make n_workers 0. in
+  let count = Array.make n_workers 0 in
+  let worker slot () =
     let rec loop () =
       let c = Atomic.fetch_and_add next 1 in
       if c < chunks then begin
-        (try f c
+        (try
+           if instrumented then begin
+             let t0 = Unix.gettimeofday () in
+             Obs.Span.with_ ~name:"pool.chunk" (fun () -> f c);
+             busy.(slot) <- busy.(slot) +. (Unix.gettimeofday () -. t0);
+             count.(slot) <- count.(slot) + 1
+           end
+           else f c
          with exn ->
            (* record the first failure; later chunks still drain so that
               all domains terminate promptly *)
@@ -19,8 +42,17 @@ let run ?domains ~chunks f =
     in
     loop ()
   in
-  let helpers = Int.min (domains - 1) (Int.max 0 (chunks - 1)) in
-  let spawned = List.init helpers (fun _ -> Domain.spawn worker) in
-  worker ();
+  let spawned = List.init helpers (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
   List.iter Domain.join spawned;
+  if instrumented && chunks > 0 then begin
+    let total_busy = Array.fold_left ( +. ) 0. busy in
+    let max_busy = Array.fold_left Float.max 0. busy in
+    let active = Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 count in
+    Obs.Metrics.incr m_runs;
+    Obs.Metrics.add m_chunks (Array.fold_left ( + ) 0 count);
+    Obs.Metrics.add m_busy_us (int_of_float (total_busy *. 1e6));
+    if active > 0 && total_busy > 0. then
+      Obs.Metrics.set g_imbalance (max_busy /. (total_busy /. float_of_int active))
+  end;
   match Atomic.get failure with Some exn -> raise exn | None -> ()

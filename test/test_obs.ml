@@ -1,0 +1,475 @@
+(* Telemetry suites: sharded counter/histogram correctness under
+   Pool.run, Chrome-trace export validity, zero-cost disabled paths,
+   and the engine's per-backend evaluation counters. *)
+
+(* Every test toggles sinks behind [with_flags], so a failure cannot
+   leak an enabled sink into later suites (some assert bit-level
+   reproducibility of uninstrumented runs). *)
+let with_flags ~metrics ~spans ~progress f =
+  let m0 = Obs.Metrics.enabled ()
+  and s0 = Obs.Span.enabled ()
+  and p0 = Obs.Progress.enabled () in
+  Obs.Metrics.set_enabled metrics;
+  Obs.Span.set_enabled spans;
+  Obs.Progress.set_enabled progress;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.set_enabled m0;
+      Obs.Span.set_enabled s0;
+      Obs.Progress.set_enabled p0;
+      Obs.Metrics.reset ();
+      Obs.Span.reset ();
+      Obs.Progress.reset_phases ())
+    f
+
+(* {1 A minimal JSON syntax checker}
+
+   Enough of RFC 8259 to reject anything structurally malformed that
+   our hand-rolled emitters could produce: unbalanced brackets, bad
+   escapes, trailing garbage, missing commas/colons. *)
+
+exception Bad of int * string
+
+let validate_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word =
+    String.iter
+      (fun c ->
+        match peek () with
+        | Some c' when c' = c -> advance ()
+        | _ -> fail ("in literal " ^ word))
+      word
+  in
+  let string_body () =
+    expect '"';
+    let closed = ref false in
+    while not !closed do
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance (); closed := true
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') -> advance ()
+          | Some 'u' ->
+              advance ();
+              for _ = 1 to 4 do
+                match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape"
+              done
+          | _ -> fail "bad escape")
+      | Some c when Char.code c < 0x20 -> fail "raw control char in string"
+      | Some _ -> advance ()
+    done
+  in
+  let number () =
+    let digits () =
+      let seen = ref false in
+      while (match peek () with Some '0' .. '9' -> true | _ -> false) do
+        seen := true;
+        advance ()
+      done;
+      if not !seen then fail "expected digit"
+    in
+    (match peek () with Some '-' -> advance () | _ -> ());
+    digits ();
+    (match peek () with
+    | Some '.' -> advance (); digits ()
+    | _ -> ());
+    match peek () with
+    | Some ('e' | 'E') ->
+        advance ();
+        (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+        digits ()
+    | _ -> ()
+  in
+  let rec value () =
+    skip_ws ();
+    (match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            skip_ws ();
+            string_body ();
+            skip_ws ();
+            expect ':';
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some '}' -> advance (); more := false
+            | _ -> fail "expected , or } in object"
+          done
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then advance ()
+        else begin
+          let more = ref true in
+          while !more do
+            value ();
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance ()
+            | Some ']' -> advance (); more := false
+            | _ -> fail "expected , or ] in array"
+          done
+        end
+    | Some '"' -> string_body ()
+    | Some 't' -> literal "true"
+    | Some 'f' -> literal "false"
+    | Some 'n' -> literal "null"
+    | Some ('-' | '0' .. '9') -> number ()
+    | _ -> fail "expected a value");
+    skip_ws ()
+  in
+  value ();
+  if !pos <> n then fail "trailing garbage"
+
+let check_valid_json what s =
+  match validate_json s with
+  | () -> ()
+  | exception Bad (pos, msg) ->
+      Alcotest.failf "%s: invalid JSON at byte %d (%s): %s" what pos msg
+        (String.sub s (max 0 (pos - 40)) (min 80 (String.length s - max 0 (pos - 40))))
+
+let count_substring ~sub s =
+  let m = String.length sub and n = String.length s in
+  let k = ref 0 in
+  for i = 0 to n - m do
+    if String.sub s i m = sub then incr k
+  done;
+  !k
+
+(* {1 Metrics} *)
+
+let counter_concurrent_sum () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.hits" in
+  let chunks = 64 and per_chunk = 500 in
+  Parallel.Pool.run ~domains:4 ~chunks (fun _ ->
+      for _ = 1 to per_chunk do
+        Obs.Metrics.incr c
+      done);
+  let snap = Obs.Metrics.snapshot () in
+  match Obs.Metrics.find_counter snap "test.obs.hits" with
+  | None -> Alcotest.fail "counter missing from snapshot"
+  | Some v -> Alcotest.(check int) "merged sum" (chunks * per_chunk) v
+
+let counter_add_and_reset () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.add" in
+  Obs.Metrics.add c 41;
+  Obs.Metrics.incr c;
+  let v () = Obs.Metrics.find_counter (Obs.Metrics.snapshot ()) "test.obs.add" in
+  Alcotest.(check (option int)) "after adds" (Some 42) (v ());
+  Obs.Metrics.reset ();
+  Alcotest.(check (option int)) "after reset" (Some 0) (v ())
+
+let gauge_last_write_wins () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let g = Obs.Metrics.gauge "test.obs.gauge" in
+  Obs.Metrics.set g 1.5;
+  Obs.Metrics.set g 2.5;
+  let snap = Obs.Metrics.snapshot () in
+  Alcotest.(check (option (float 1e-12)))
+    "last value" (Some 2.5)
+    (List.assoc_opt "test.obs.gauge" snap.Obs.Metrics.gauges)
+
+(* Reference bucketing for the histogram property: first bound >= x,
+   else the overflow bucket. *)
+let reference_hist bounds xs =
+  let counts = Array.make (Array.length bounds + 1) 0 in
+  List.iter
+    (fun x ->
+      let rec find i =
+        if i = Array.length bounds then i
+        else if x <= bounds.(i) then i
+        else find (i + 1)
+      in
+      let i = find 0 in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts
+
+let histogram_matches_reference =
+  Tutil.qcheck ~count:60 "histogram buckets = sequential reference"
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 400) (float_range 1e-7 2e3))
+        (int_range 1 4))
+    (fun (xs, domains) ->
+      with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+      let h = Obs.Metrics.histogram "test.obs.hist" in
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      (* one chunk per value, so observations land on several shards *)
+      Parallel.Pool.run ~domains ~chunks:n (fun i -> Obs.Metrics.observe h arr.(i));
+      let snap = Obs.Metrics.snapshot () in
+      match List.assoc_opt "test.obs.hist" snap.Obs.Metrics.histograms with
+      | None -> false
+      | Some hv ->
+          let expected = reference_hist hv.Obs.Metrics.bounds xs in
+          hv.Obs.Metrics.counts = expected
+          && hv.Obs.Metrics.total = n
+          && Float.abs (hv.Obs.Metrics.sum -. List.fold_left ( +. ) 0. xs)
+             <= 1e-9 *. Float.max 1. (Float.abs hv.Obs.Metrics.sum))
+
+let registration_is_idempotent () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let a = Obs.Metrics.counter "test.obs.same" in
+  let b = Obs.Metrics.counter "test.obs.same" in
+  Obs.Metrics.incr a;
+  Obs.Metrics.incr b;
+  Alcotest.(check (option int))
+    "one slot" (Some 2)
+    (Obs.Metrics.find_counter (Obs.Metrics.snapshot ()) "test.obs.same")
+
+let kind_clash_rejected () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let (_ : Obs.Metrics.counter) = Obs.Metrics.counter "test.obs.kind" in
+  match Obs.Metrics.histogram "test.obs.kind" with
+  | _ -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+(* {1 Spans} *)
+
+let nested_work () = Obs.Span.with_ ~name:"test.inner" (fun () -> Sys.opaque_identity 1)
+
+let trace_export_balanced () =
+  with_flags ~metrics:false ~spans:true ~progress:false @@ fun () ->
+  let outer () = Obs.Span.with_ ~name:"test.outer" (fun () -> ignore (nested_work ())) in
+  for _ = 1 to 5 do
+    outer ()
+  done;
+  Parallel.Pool.run ~domains:3 ~chunks:12 (fun _ -> ignore (nested_work ()));
+  let json = Obs.Span.export_chrome () in
+  check_valid_json "trace" json;
+  let b = count_substring ~sub:{|"ph":"B"|} json
+  and e = count_substring ~sub:{|"ph":"E"|} json in
+  Alcotest.(check int) "balanced B/E" b e;
+  Alcotest.(check bool) "has events" true (b > 0);
+  (* pool chunks themselves are spans when tracing is on *)
+  Alcotest.(check bool)
+    "pool.chunk present" true
+    (count_substring ~sub:{|"name":"pool.chunk"|} json > 0)
+
+let trace_survives_exception () =
+  with_flags ~metrics:false ~spans:true ~progress:false @@ fun () ->
+  (try Obs.Span.with_ ~name:"test.raise" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let json = Obs.Span.export_chrome () in
+  check_valid_json "trace" json;
+  Alcotest.(check int) "span recorded despite raise" 1
+    (count_substring ~sub:{|"name":"test.raise"|} json / 2 * 2 / 2);
+  let b = count_substring ~sub:{|"ph":"B"|} json
+  and e = count_substring ~sub:{|"ph":"E"|} json in
+  Alcotest.(check int) "balanced" b e
+
+let ring_overwrites_and_counts_drops () =
+  with_flags ~metrics:false ~spans:true ~progress:false @@ fun () ->
+  let extra = 37 in
+  for _ = 1 to Obs.Span.capacity + extra do
+    ignore (nested_work ())
+  done;
+  Alcotest.(check bool)
+    "dropped >= overflow" true
+    (Obs.Span.dropped () >= extra);
+  let json = Obs.Span.export_chrome () in
+  check_valid_json "trace after wrap" json;
+  let b = count_substring ~sub:{|"ph":"B"|} json
+  and e = count_substring ~sub:{|"ph":"E"|} json in
+  Alcotest.(check int) "still balanced" b e
+
+let summary_counts_spans () =
+  with_flags ~metrics:false ~spans:true ~progress:false @@ fun () ->
+  for _ = 1 to 7 do
+    ignore (nested_work ())
+  done;
+  match
+    List.find_opt (fun s -> s.Obs.Span.name = "test.inner") (Obs.Span.summary ())
+  with
+  | None -> Alcotest.fail "no summary row"
+  | Some s ->
+      Alcotest.(check int) "count" 7 s.Obs.Span.count;
+      Alcotest.(check bool) "ordered percentiles" true
+        (s.Obs.Span.p50_us <= s.Obs.Span.p99_us +. 1e-9);
+      Alcotest.(check bool) "mean consistent" true
+        (Float.abs ((s.Obs.Span.total_us /. 7.) -. s.Obs.Span.mean_us) < 1e-6)
+
+let json_escape_roundtrip () =
+  let escaped = Obs.Span.json_escape "a\"b\\c\nd\te\x01f" in
+  check_valid_json "escaped string" (Printf.sprintf "\"%s\"" escaped);
+  Alcotest.(check string) "escapes" {|a\"b\\c\nd\te\u0001f|} escaped
+
+(* {1 Report} *)
+
+let report_json_valid () =
+  with_flags ~metrics:true ~spans:true ~progress:false @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.report" in
+  Obs.Metrics.incr c;
+  let h = Obs.Metrics.histogram "test.obs.report_hist" in
+  Obs.Metrics.observe h 0.5;
+  ignore (nested_work ());
+  Obs.Progress.phase "test.phase" (fun () -> ignore (Sys.opaque_identity 0));
+  let json = Obs.Report.json () in
+  check_valid_json "report" json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true
+        (count_substring ~sub:(Printf.sprintf "%S" key) json > 0))
+    [ "counters"; "gauges"; "histograms"; "spans"; "phases"; "test.phase" ]
+
+let progress_phase_records_gc () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  Obs.Progress.phase "test.gc" (fun () ->
+      (* small boxed values, so the allocation lands in the minor heap *)
+      ignore (Sys.opaque_identity (List.init 10_000 float_of_int)));
+  match List.find_opt (fun p -> p.Obs.Progress.phase = "test.gc") (Obs.Progress.phases ()) with
+  | None -> Alcotest.fail "phase not recorded"
+  | Some p ->
+      Alcotest.(check bool) "elapsed >= 0" true (p.Obs.Progress.elapsed_s >= 0.);
+      Alcotest.(check bool) "allocated" true (p.Obs.Progress.minor_words > 0.)
+
+let disabled_phase_is_transparent () =
+  with_flags ~metrics:false ~spans:false ~progress:false @@ fun () ->
+  let r = Obs.Progress.phase "test.off" (fun () -> 17) in
+  Alcotest.(check int) "result" 17 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Obs.Progress.phases ()))
+
+(* {1 Zero-cost when disabled}
+
+   The contract is "no observable allocation": a fixed instrumented
+   loop must allocate O(1) minor words regardless of iteration count.
+   We allow a generous constant for the harness itself. *)
+
+let incr_loop c n =
+  for _ = 1 to n do
+    Obs.Metrics.incr c
+  done
+
+let span_loop f n =
+  for _ = 1 to n do
+    if Obs.Span.enabled () then ignore (Obs.Span.with_ ~name:"test.cold" f)
+    else ignore (f ())
+  done
+
+let disabled_paths_do_not_allocate () =
+  with_flags ~metrics:false ~spans:false ~progress:false @@ fun () ->
+  let c = Obs.Metrics.counter "test.obs.cold" in
+  let f () = Sys.opaque_identity 0 in
+  (* warm up so any one-time setup is paid before measuring *)
+  incr_loop c 100;
+  span_loop f 100;
+  let before = Gc.minor_words () in
+  incr_loop c 50_000;
+  span_loop f 50_000;
+  let delta = Gc.minor_words () -. before in
+  if delta > 1_000. then
+    Alcotest.failf "disabled telemetry allocated %.0f minor words over 100k ops" delta;
+  Alcotest.(check (option int))
+    "counter untouched" (Some 0)
+    (Obs.Metrics.find_counter (Obs.Metrics.snapshot ()) "test.obs.cold");
+  Alcotest.(check int) "no spans" 0 (List.length (Obs.Span.summary ()))
+
+(* {1 Engine per-backend counters} *)
+
+let small_engine () =
+  let rng = Tutil.rng_of_seed 7 in
+  let graph = Workloads.Cholesky.generate ~tiles:2 () in
+  let platform =
+    Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks graph) ~n_procs:3 ()
+  in
+  let model = Workloads.Stochastify.make ~ul:1.2 () in
+  let sched = Sched.Heft.schedule graph platform in
+  (Makespan.Engine.create ~graph ~platform ~model, sched)
+
+let engine_counts_per_backend () =
+  let engine, sched = small_engine () in
+  let eval b = ignore (Makespan.Engine.eval ~backend:b engine sched) in
+  eval Makespan.Engine.Classical;
+  eval Makespan.Engine.Classical;
+  eval Makespan.Engine.Spelde;
+  eval (Makespan.Engine.Montecarlo { count = 50; seed = 5L });
+  let s = Makespan.Engine.stats engine in
+  Alcotest.(check int) "classical" 2 s.Makespan.Engine.evals_classical;
+  Alcotest.(check int) "spelde" 1 s.Makespan.Engine.evals_spelde;
+  Alcotest.(check int) "montecarlo" 1 s.Makespan.Engine.evals_montecarlo;
+  Alcotest.(check int) "dodin" 0 s.Makespan.Engine.evals_dodin;
+  Alcotest.(check int) "total" 4 s.Makespan.Engine.evals;
+  Makespan.Engine.reset_stats engine;
+  let z = Makespan.Engine.stats engine in
+  Alcotest.(check int) "evals zeroed" 0 z.Makespan.Engine.evals;
+  Alcotest.(check int) "hits zeroed" 0 z.Makespan.Engine.task_hits;
+  Alcotest.(check int) "misses zeroed" 0 z.Makespan.Engine.task_misses;
+  (* counters keep working after a reset *)
+  eval Makespan.Engine.Classical;
+  Alcotest.(check int) "counts resume" 1
+    (Makespan.Engine.stats engine).Makespan.Engine.evals_classical
+
+let engine_output_independent_of_sinks () =
+  let engine, sched = small_engine () in
+  let reference = Makespan.Engine.eval engine sched in
+  let instrumented =
+    with_flags ~metrics:true ~spans:true ~progress:false @@ fun () ->
+    Makespan.Engine.eval engine sched
+  in
+  Alcotest.(check bool) "bit-identical distribution" true (reference = instrumented)
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          tc "concurrent counter sum" `Quick counter_concurrent_sum;
+          tc "add and reset" `Quick counter_add_and_reset;
+          tc "gauge last-write-wins" `Quick gauge_last_write_wins;
+          histogram_matches_reference;
+          tc "idempotent registration" `Quick registration_is_idempotent;
+          tc "kind clash" `Quick kind_clash_rejected;
+        ] );
+      ( "span",
+        [
+          tc "export balanced" `Quick trace_export_balanced;
+          tc "exception safety" `Quick trace_survives_exception;
+          tc "ring wrap" `Quick ring_overwrites_and_counts_drops;
+          tc "summary" `Quick summary_counts_spans;
+          tc "json escape" `Quick json_escape_roundtrip;
+        ] );
+      ( "report",
+        [
+          tc "combined json" `Quick report_json_valid;
+          tc "phase gc" `Quick progress_phase_records_gc;
+          tc "disabled phase" `Quick disabled_phase_is_transparent;
+        ] );
+      ( "zero-cost",
+        [ tc "disabled paths allocate nothing" `Quick disabled_paths_do_not_allocate ] );
+      ( "engine",
+        [
+          tc "per-backend counts" `Quick engine_counts_per_backend;
+          tc "sinks do not affect output" `Quick engine_output_independent_of_sinks;
+        ] );
+    ]
