@@ -295,6 +295,85 @@ let substrate_tests =
            ignore (Sched.Slack.compute sched inst.E.Case.platform inst.E.Case.model)));
   ]
 
+(* distribution/convolution/pool kernels: the zero-allocation hot layer.
+   These run both in the full bench and in `--perf-smoke` (the CI step
+   that writes BENCH_dist.json without reproducing every figure). *)
+let uncertain = lazy (Distribution.Family.uncertain ~ul:1.1 20.)
+
+(* a wide partial like the mid-sweep completion distributions: ~12× the
+   support of one operand, so summing one more operand takes the k-point
+   path *)
+let wide_partial =
+  lazy
+    (let u = Lazy.force uncertain in
+     let d = ref u in
+     for _ = 1 to 12 do
+       d := Distribution.Dist.add !d u
+     done;
+     !d)
+
+let dist_tests =
+  [
+    Test.make ~name:"dist:add-full-64x64"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           ignore (Distribution.Dist.add u u)));
+    Test.make ~name:"dist:add-kpoint"
+      (Staged.stage (fun () ->
+           let w = Lazy.force wide_partial and u = Lazy.force uncertain in
+           ignore (Distribution.Dist.add w u)));
+    Test.make ~name:"dist:max-indep-64x64"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           ignore
+             (Distribution.Dist.max_indep u (Distribution.Dist.shift u 2.))));
+    Test.make ~name:"dist:trim-64"
+      (Staged.stage (fun () ->
+           let w = Lazy.force wide_partial in
+           ignore (Distribution.Dist.trim w)));
+    Test.make ~name:"dist:resample-64"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           ignore (Distribution.Dist.resample ~points:64 u)));
+    Test.make ~name:"dist:mean-std"
+      (Staged.stage (fun () ->
+           let w = Lazy.force wide_partial in
+           ignore (Distribution.Dist.mean w +. Distribution.Dist.std w)));
+  ]
+
+let conv_tests =
+  let mk n = Array.init n (fun i -> 1. +. sin (float_of_int i)) in
+  let a512 = mk 512 and b512 = mk 512 in
+  let long = mk 2048 and kernel = mk 17 in
+  let out = Array.make 4096 0. in
+  [
+    Test.make ~name:"conv:direct-512x512"
+      (Staged.stage (fun () ->
+           Numerics.Convolution.direct_into ~out a512 512 b512 512));
+    Test.make ~name:"conv:fft-512x512"
+      (Staged.stage (fun () -> Numerics.Convolution.fft_into ~out a512 512 b512 512));
+    Test.make ~name:"conv:packed-512x512"
+      (Staged.stage (fun () ->
+           Numerics.Convolution.fft_packed_into ~out a512 512 b512 512));
+    Test.make ~name:"conv:overlap-add-2048x17"
+      (Staged.stage (fun () ->
+           Numerics.Convolution.overlap_add_into ~out long 2048 kernel 17));
+  ]
+
+let bench_pool = lazy (Parallel.Pool.create ~domains:2 ())
+
+let pool_tests =
+  [
+    Test.make ~name:"pool:persistent-run32"
+      (Staged.stage (fun () ->
+           Parallel.Pool.run ~pool:(Lazy.force bench_pool) ~chunks:32 (fun c ->
+               ignore (Sys.opaque_identity (c * c)))));
+    Test.make ~name:"pool:oneshot-run32"
+      (Staged.stage (fun () ->
+           Parallel.Pool.run ~domains:2 ~chunks:32 (fun c ->
+               ignore (Sys.opaque_identity (c * c)))));
+  ]
+
 let pretty_ns ns =
   if Float.is_nan ns then "n/a"
   else if ns > 1e9 then Printf.sprintf "%8.3f  s" (ns /. 1e9)
@@ -328,7 +407,8 @@ let run_benchmarks () =
   let figures =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
-      (figure_tests @ engine_tests @ substrate_tests)
+      (figure_tests @ engine_tests @ substrate_tests @ dist_tests @ conv_tests
+     @ pool_tests)
   in
   (* the obs kernels measure overheads expected to sit near zero, so
      they get a longer quota and GC stabilization to push sampling noise
@@ -416,8 +496,96 @@ let write_obs_json results =
   close_out oc;
   Printf.printf "[wrote BENCH_obs.json]\n%!"
 
+(* BENCH_dist.json: the before/after record of the zero-allocation kernel
+   layer. The headline speedup is the committed interleaved A/B probe
+   (seed binary and this binary alternated on the same machine — the only
+   sound protocol on a host with drifting background load); the kernels
+   array and the live eval numbers are re-measured on every run. *)
+let seed_baseline_ns_per_schedule = 23_015_611.
+let seed_baseline_minor_words_per_schedule = 4_024_988.
+let after_probe_ns_per_schedule = 11_091_376.
+
+(* live warm-engine classical eval: ns and minor words per schedule on
+   the same random30/p8 batch the engine benches use *)
+let measure_live_eval () =
+  let _, scheds = Lazy.force sched_batch in
+  let engine = Lazy.force shared_engine in
+  let eval_all () =
+    Array.iter (fun s -> ignore (Makespan.Engine.eval engine s)) scheds
+  in
+  eval_all ();
+  let iters = 5 in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    eval_all ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let per = float_of_int (iters * Array.length scheds) in
+  (dt *. 1e9 /. per, dw /. per)
+
+let write_dist_json kernels =
+  let kernels =
+    List.filter
+      (fun (name, _) ->
+        List.exists
+          (fun p -> String.length name >= String.length p
+                    && String.sub name 0 (String.length p) = p)
+          [ "dist:"; "conv:"; "pool:" ])
+      kernels
+  in
+  let live_ns, live_words = measure_live_eval () in
+  let json_field (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns\": %s }" name
+      (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+  in
+  let oc = open_out "BENCH_dist.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"ns\",\n\
+    \  \"protocol\": \"interleaved A/B probe vs seed 839f515, random30/p8 case, 8-schedule batch, 40 warm iterations\",\n\
+    \  \"baseline_classical_eval_ns_per_schedule\": %.0f,\n\
+    \  \"baseline_classical_eval_minor_words_per_schedule\": %.0f,\n\
+    \  \"after_classical_eval_ns_per_schedule\": %.0f,\n\
+    \  \"after_classical_eval_minor_words_per_schedule\": %.0f,\n\
+    \  \"speedup_classical_eval\": %.3f,\n\
+    \  \"minor_alloc_drop_pct\": %.1f,\n\
+    \  \"live_classical_eval_ns_per_schedule\": %.0f,\n\
+    \  \"live_classical_eval_minor_words_per_schedule\": %.0f,\n\
+    \  \"kernels\": [\n%s\n  ]\n\
+     }\n"
+    seed_baseline_ns_per_schedule seed_baseline_minor_words_per_schedule
+    after_probe_ns_per_schedule live_words
+    (seed_baseline_ns_per_schedule /. after_probe_ns_per_schedule)
+    ((seed_baseline_minor_words_per_schedule -. live_words)
+    /. seed_baseline_minor_words_per_schedule *. 100.)
+    live_ns live_words
+    (String.concat ",\n" (List.map json_field kernels));
+  close_out oc;
+  Printf.printf "[wrote BENCH_dist.json]\n%!"
+
+(* `--perf-smoke`: the CI fast path — only the dist/conv/pool kernels,
+   short quotas, no figure reproduction. Still writes BENCH_dist.json. *)
+let perf_smoke () =
+  Printf.printf "================ perf smoke (dist/conv/pool) ================\n\n";
+  Printf.printf "%-36s  %14s\n" "kernel" "time/run";
+  Printf.printf "%s\n" (String.make 52 '-');
+  let kernels =
+    run_kernels
+      (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
+      (dist_tests @ conv_tests @ pool_tests)
+  in
+  write_dist_json kernels;
+  Parallel.Pool.shutdown (Lazy.force bench_pool)
+
 let () =
-  reproduce ();
-  let results = run_benchmarks () in
-  write_bench_json results;
-  write_obs_json results
+  if Array.exists (fun a -> a = "--perf-smoke") Sys.argv then perf_smoke ()
+  else begin
+    reproduce ();
+    let results = run_benchmarks () in
+    write_bench_json results;
+    write_obs_json results;
+    write_dist_json results;
+    Parallel.Pool.shutdown (Lazy.force bench_pool)
+  end

@@ -5,7 +5,19 @@ type grid = {
   dx : float;
   pdf : float array; (* density samples at lo + i·dx, normalized *)
   cdf : float array; (* running trapezoid integral of [pdf], cdf.(n-1) = 1 *)
-  spline : Numerics.Spline.t; (* interpolant of [pdf] over the grid *)
+  spline : Numerics.Spline.t option Atomic.t;
+      (* lazy interpolant of [pdf] over the grid, fit on first density
+         query (moment/CDF reads — the vast majority — never pay the
+         tridiagonal solve). Atomic so a fit published by one domain is
+         seen fully initialized by others; a racing duplicate fit is
+         harmless (same inputs, same spline). *)
+  atoms : (float array * float array) option Atomic.t;
+      (* lazy mass-binned discretization (centers, masses) of this grid
+         used when it is the narrow operand of [k_point_sum]. Narrow
+         operands are overwhelmingly cached single-edge distributions
+         summed against many different wide partials, so the atoms are a
+         per-grid invariant worth keeping. Same publication discipline
+         as [spline]; both arrays are frozen once published. *)
 }
 
 type t = Const of float | Grid of grid
@@ -14,29 +26,84 @@ let grid_n g = Array.length g.pdf
 let grid_hi g = g.lo +. (g.dx *. float_of_int (grid_n g - 1))
 let grid_xs g = Array.init (grid_n g) (fun i -> g.lo +. (float_of_int i *. g.dx))
 
-let make_grid ~lo ~dx pdf =
-  let n = Array.length pdf in
+let grid_spline g =
+  match Atomic.get g.spline with
+  | Some s -> s
+  | None ->
+    let s = Numerics.Spline.fit ~xs:(grid_xs g) ~ys:g.pdf in
+    Atomic.set g.spline (Some s);
+    s
+
+(* Per-domain arena for the construction hot path: three growable float
+   buffers (two convolution operands plus one result/sampling target),
+   reused across every sum/max in a sweep. Buffers only ever hold data
+   between a fill and the [make_grid_n] copy a few lines later, so the
+   arena has no lifecycle to manage — each operation overwrites freely. *)
+type arena = {
+  mutable a : float array;
+  mutable b : float array;
+  mutable c : float array;
+}
+
+let arena_key : arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { a = [||]; b = [||]; c = [||] })
+
+let grow buf n =
+  if Array.length buf >= n then buf else Array.make (Numerics.Array_ops.next_pow2 n) 0.
+
+let scratch_a n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.a n in
+  s.a <- r;
+  r
+
+let scratch_b n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.b n in
+  s.b <- r;
+  r
+
+let scratch_c n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.c n in
+  s.c <- r;
+  r
+
+(* Build a grid from the first [n] cells of [src] (possibly an oversized
+   arena buffer; [src] is read, never kept). Clamp, normalize, and
+   integrate in two passes over fresh exactly-sized arrays — same
+   operation order as the historical map/map/cumulative pipeline, so the
+   stored pdf/cdf are bit-identical to it. *)
+let make_grid_n ~lo ~dx ~n src =
   if n < 2 then invalid_arg "Dist: grid needs at least 2 samples";
   if dx <= 0. || not (Float.is_finite dx) then invalid_arg "Dist: dx must be positive";
-  let pdf = Array.map (fun v -> if Float.is_finite v && v > 0. then v else 0.) pdf in
+  if Array.length src < n then invalid_arg "Dist: fewer samples than requested";
+  let pdf = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let v = Array.unsafe_get src i in
+    Array.unsafe_set pdf i (if Float.is_finite v && v > 0. then v else 0.)
+  done;
   let total = Numerics.Integrate.trapezoid_sampled ~dx pdf in
   if total <= 0. then invalid_arg "Dist: density has no mass";
-  let pdf = Array.map (fun v -> v /. total) pdf in
+  for i = 0 to n - 1 do
+    Array.unsafe_set pdf i (Array.unsafe_get pdf i /. total)
+  done;
   let cdf = Numerics.Integrate.cumulative ~dx pdf in
   (* kill the last-ulp drift so quantile/cdf_at see an exact CDF *)
   let last = cdf.(n - 1) in
   if last > 0. then
     for i = 0 to n - 1 do
-      cdf.(i) <- Float.min 1. (cdf.(i) /. last)
+      Array.unsafe_set cdf i (Float.min 1. (Array.unsafe_get cdf i /. last))
     done;
-  let xs = Array.init n (fun i -> lo +. (float_of_int i *. dx)) in
-  { lo; dx; pdf; cdf; spline = Numerics.Spline.fit ~xs ~ys:pdf }
+  { lo; dx; pdf; cdf; spline = Atomic.make None; atoms = Atomic.make None }
+
+let make_grid ~lo ~dx pdf = make_grid_n ~lo ~dx ~n:(Array.length pdf) pdf
 
 let const v =
   if not (Float.is_finite v) then invalid_arg "Dist.const: non-finite value";
   Const v
 
-let of_samples_pdf ~lo ~dx pdf = Grid (make_grid ~lo ~dx (Array.copy pdf))
+let of_samples_pdf ~lo ~dx pdf = Grid (make_grid ~lo ~dx pdf)
 
 let of_fn ?(points = default_points) ~lo ~hi f =
   if not (lo < hi) then invalid_arg "Dist.of_fn: requires lo < hi";
@@ -55,7 +122,7 @@ let support = function
    against spline overshoot. *)
 let grid_pdf_at g x =
   if x < g.lo || x > grid_hi g then 0.
-  else Float.max 0. (Numerics.Spline.eval g.spline x)
+  else Float.max 0. (Numerics.Spline.eval (grid_spline g) x)
 
 let pdf_at d x =
   match d with
@@ -71,8 +138,10 @@ let grid_cdf_at g x =
       let pos = (x -. g.lo) /. g.dx in
       let i = int_of_float pos in
       let i = Int.min i (grid_n g - 2) in
+      (* unsafe: g.lo < x < hi gives 0 ≤ i ≤ n − 2 after the clamp *)
       let frac = pos -. float_of_int i in
-      let v = g.cdf.(i) +. (frac *. (g.cdf.(i + 1) -. g.cdf.(i))) in
+      let c_i = Array.unsafe_get g.cdf i in
+      let v = c_i +. (frac *. (Array.unsafe_get g.cdf (i + 1) -. c_i)) in
       Float.min 1. (Float.max 0. v)
     end
 
@@ -95,20 +164,70 @@ let cdf_arrays = function
 
 (* E[weight(X)], normalized by the mass measured with the same quadrature
    so normalization drift cannot bias moments. The trapezoid rule is used
-   deliberately: it is the rule [make_grid] normalizes with and the CDF
+   deliberately: it is the rule [make_grid_n] normalizes with and the CDF
    integrates with, and it gives point masses folded into a boundary cell
    (grid_pdf += 2·mass/dx) exactly their intended weight — Simpson would
-   count such an atom at 2/3 of its mass. *)
+   count such an atom at 2/3 of its mass. Both quadratures run in one
+   fused pass with the historical accumulation order (endpoints halved
+   first, then interior cells, then ×dx) and no materialized xs/ys. *)
 let integrate_weighted g weight =
-  let xs = grid_xs g in
-  let ys = Array.mapi (fun i p -> weight xs.(i) *. p) g.pdf in
-  let num = Numerics.Integrate.trapezoid_sampled ~dx:g.dx ys in
-  let mass = Numerics.Integrate.trapezoid_sampled ~dx:g.dx g.pdf in
+  let n = grid_n g in
+  let lo = g.lo and dx = g.dx and pdf = g.pdf in
+  let x0 = lo +. (float_of_int 0 *. dx) in
+  let x_last = lo +. (float_of_int (n - 1) *. dx) in
+  let num = ref (((weight x0 *. pdf.(0)) +. (weight x_last *. pdf.(n - 1))) /. 2.) in
+  let mass = ref ((pdf.(0) +. pdf.(n - 1)) /. 2.) in
+  for i = 1 to n - 2 do
+    let x = lo +. (float_of_int i *. dx) in
+    let p = Array.unsafe_get pdf i in
+    num := !num +. (weight x *. p);
+    mass := !mass +. p
+  done;
+  let num = !num *. dx and mass = !mass *. dx in
+  if mass > 0. then num /. mass else num
+
+(* [integrate_weighted g (fun x -> x)] / the centered second moment,
+   specialized to first-order loops: the closure-based form boxes every
+   [weight x] result, so the two moments the sweep reads for every
+   schedule row would dominate steady-state allocation. Accumulation
+   order matches [integrate_weighted] exactly — bit-identical values. *)
+let grid_mean g =
+  let n = grid_n g in
+  let lo = g.lo and dx = g.dx and pdf = g.pdf in
+  let x0 = lo +. (float_of_int 0 *. dx) in
+  let x_last = lo +. (float_of_int (n - 1) *. dx) in
+  let num = ref (((x0 *. pdf.(0)) +. (x_last *. pdf.(n - 1))) /. 2.) in
+  let mass = ref ((pdf.(0) +. pdf.(n - 1)) /. 2.) in
+  for i = 1 to n - 2 do
+    let x = lo +. (float_of_int i *. dx) in
+    let p = Array.unsafe_get pdf i in
+    num := !num +. (x *. p);
+    mass := !mass +. p
+  done;
+  let num = !num *. dx and mass = !mass *. dx in
+  if mass > 0. then num /. mass else num
+
+let grid_var_about m g =
+  let n = grid_n g in
+  let lo = g.lo and dx = g.dx and pdf = g.pdf in
+  let x0 = lo +. (float_of_int 0 *. dx) in
+  let x_last = lo +. (float_of_int (n - 1) *. dx) in
+  let d0 = x0 -. m and dl = x_last -. m in
+  let num = ref (((d0 *. d0 *. pdf.(0)) +. (dl *. dl *. pdf.(n - 1))) /. 2.) in
+  let mass = ref ((pdf.(0) +. pdf.(n - 1)) /. 2.) in
+  for i = 1 to n - 2 do
+    let x = lo +. (float_of_int i *. dx) in
+    let p = Array.unsafe_get pdf i in
+    let d = x -. m in
+    num := !num +. (d *. d *. p);
+    mass := !mass +. p
+  done;
+  let num = !num *. dx and mass = !mass *. dx in
   if mass > 0. then num /. mass else num
 
 let mean = function
   | Const v -> v
-  | Grid g -> integrate_weighted g (fun x -> x)
+  | Grid g -> grid_mean g
 
 let variance = function
   | Const _ -> 0.
@@ -116,12 +235,8 @@ let variance = function
     (* centered two-pass form: E[X²] − E[X]² cancels catastrophically
        once the mean dwarfs the spread (makespans in the thousands with
        σ of a few units) *)
-    let m = integrate_weighted g (fun x -> x) in
-    let d2 x =
-      let d = x -. m in
-      d *. d
-    in
-    Float.max 0. (integrate_weighted g d2)
+    let m = grid_mean g in
+    Float.max 0. (grid_var_about m g)
 
 let std d = sqrt (variance d)
 
@@ -148,8 +263,13 @@ let kurtosis_excess d =
 let entropy = function
   | Const _ -> Float.neg_infinity
   | Grid g ->
-    let ys = Array.map (fun p -> if p > 0. then -.p *. log p else 0.) g.pdf in
-    Numerics.Integrate.trapezoid_sampled ~dx:g.dx ys
+    let e p = if p > 0. then -.p *. log p else 0. in
+    let n = grid_n g in
+    let s = ref ((e g.pdf.(0) +. e g.pdf.(n - 1)) /. 2.) in
+    for i = 1 to n - 2 do
+      s := !s +. e g.pdf.(i)
+    done;
+    !s *. g.dx
 
 let quantile d p =
   if p < 0. || p > 1. then invalid_arg "Dist.quantile: p must be in [0,1]";
@@ -184,9 +304,10 @@ let mean_above d c =
       let lo = Float.max c g.lo in
       (* integrate x·f and f over [lo, hi] with linear interpolation of the
          grid density (positivity-safe, unlike the spline) *)
+      let npdf = grid_n g in
       let pdf_lin x =
         let pos = (x -. g.lo) /. g.dx in
-        let i = Int.max 0 (Int.min (int_of_float pos) (grid_n g - 2)) in
+        let i = Int.max 0 (Int.min (int_of_float pos) (npdf - 2)) in
         let frac = pos -. float_of_int i in
         Float.max 0. (g.pdf.(i) +. (frac *. (g.pdf.(i + 1) -. g.pdf.(i))))
       in
@@ -194,11 +315,23 @@ let mean_above d c =
       let dx = (hi -. lo) /. float_of_int (n - 1) in
       if dx <= 0. then c
       else begin
-        let fs = Array.init n (fun i -> pdf_lin (lo +. (float_of_int i *. dx))) in
-        let xfs = Array.mapi (fun i f -> (lo +. (float_of_int i *. dx)) *. f) fs in
-        let mass = Numerics.Integrate.simpson_sampled ~dx fs in
-        if mass <= 1e-12 then c
-        else Numerics.Integrate.simpson_sampled ~dx xfs /. mass
+        (* fused Simpson over f and x·f; n is odd so the interval count
+           is even and there is no trapezoid tail — accumulation order
+           matches [Integrate.simpson_sampled] on materialized arrays *)
+        let x0 = lo +. (float_of_int 0 *. dx) in
+        let xl = lo +. (float_of_int (n - 1) *. dx) in
+        let f0 = pdf_lin x0 and fl = pdf_lin xl in
+        let sf = ref (f0 +. fl) in
+        let sxf = ref ((x0 *. f0) +. (xl *. fl)) in
+        for i = 1 to n - 2 do
+          let x = lo +. (float_of_int i *. dx) in
+          let f = pdf_lin x in
+          let w = if i mod 2 = 1 then 4. else 2. in
+          sf := !sf +. (w *. f);
+          sxf := !sxf +. (w *. (x *. f))
+        done;
+        let mass = !sf *. dx /. 3. in
+        if mass <= 1e-12 then c else !sxf *. dx /. 3. /. mass
       end
     end
 
@@ -215,10 +348,22 @@ let scale d c =
     let pdf = Array.map (fun p -> p /. c) g.pdf in
     Grid (make_grid ~lo:(g.lo *. c) ~dx:(g.dx *. c) pdf)
 
-(* Sample grid [g]'s density at [lo + k·dx] for k < n, zero outside the
-   support of [g]. *)
-let sample_onto ~lo ~dx ~n g =
-  Array.init n (fun k -> grid_pdf_at g (lo +. (float_of_int k *. dx)))
+(* Sample grid [g]'s density at [lo + k·dx] for k < n into [out], zero
+   outside the support of [g]. The query points are increasing, so a
+   spline cursor walk replaces the per-point binary search (bit-identical
+   values, see {!Numerics.Spline.eval_walk}). *)
+let sample_onto_into ~lo ~dx ~n g out =
+  if Array.length out < n then invalid_arg "Dist: sample buffer too short";
+  let g_hi = grid_hi g in
+  let g_lo = g.lo in
+  let s = grid_spline g in
+  let cu = Numerics.Spline.cursor () in
+  for k = 0 to n - 1 do
+    let x = lo +. (float_of_int k *. dx) in
+    Array.unsafe_set out k
+      (if x < g_lo || x > g_hi then 0.
+       else Float.max 0. (Numerics.Spline.eval_walk s cu x))
+  done
 
 let resample ?(points = default_points) d =
   match d with
@@ -227,7 +372,9 @@ let resample ?(points = default_points) d =
     if points < 2 then invalid_arg "Dist.resample: need at least 2 points";
     let hi = grid_hi g in
     let dx = (hi -. g.lo) /. float_of_int (points - 1) in
-    Grid (make_grid ~lo:g.lo ~dx (sample_onto ~lo:g.lo ~dx ~n:points g))
+    let buf = scratch_c points in
+    sample_onto_into ~lo:g.lo ~dx ~n:points g buf;
+    Grid (make_grid_n ~lo:g.lo ~dx ~n:points buf)
 
 (* Trim negligible CDF tails, then resample. After repeated sums the
    support grows linearly while σ grows as √k, so without trimming the
@@ -247,10 +394,23 @@ let trim ?(eps = 1e-9) ?(points = default_points) d =
     done;
     let lo = g.lo +. (float_of_int !i_lo *. g.dx) in
     let hi = g.lo +. (float_of_int !i_hi *. g.dx) in
-    if hi <= lo then Const (integrate_weighted g (fun x -> x))
+    if hi <= lo then Const (grid_mean g)
     else begin
       let dx = (hi -. lo) /. float_of_int (points - 1) in
-      Grid (make_grid ~lo ~dx (sample_onto ~lo ~dx ~n:points g))
+      (* Identity fast path: nothing was cut and the recomputed step
+         lands exactly on the grid's own step, so every sample point is a
+         knot — and a natural cubic spline evaluated at a knot returns
+         the knot ordinate exactly ((x_{i+1}−x)/h = 1 and (x−x_i)/h = 0
+         are exact divisions, so the cubic terms vanish). The resample
+         would therefore reproduce [g.pdf] bit-for-bit; feed it straight
+         to [make_grid_n] and skip the spline fit and the scan. *)
+      if !i_lo = 0 && !i_hi = n - 1 && points = n && dx = g.dx && lo = g.lo
+      then Grid (make_grid_n ~lo ~dx ~n:points g.pdf)
+      else begin
+        let buf = scratch_c points in
+        sample_onto_into ~lo ~dx ~n:points g buf;
+        Grid (make_grid_n ~lo ~dx ~n:points buf)
+      end
     end
 
 (* Working resolution for a convolution: the finer of the two grids,
@@ -262,62 +422,104 @@ let max_work_samples = 2048
    with a mass-binned discretization of [gn] — [k] atoms at bin centers
    carrying exact CDF masses, recentered so the mean is preserved
    exactly. Replaces a full FFT convolution at ~1/20 of the cost with
-   sub-percent moment error. *)
+   sub-percent moment error.
+
+   The discretization (centers, masses) depends only on the narrow grid
+   itself, so it is computed once and published through the [atoms]
+   field — narrow operands are overwhelmingly memoized edge
+   distributions summed against many different wide partials. *)
+let kp_atoms gn =
+  match Atomic.get gn.atoms with
+  | Some (centers, masses) -> (centers, masses)
+  | None ->
+    let k = 17 in
+    let lo_n = gn.lo and hi_n = grid_hi gn in
+    let w = (hi_n -. lo_n) /. float_of_int k in
+    let centers =
+      Array.init k (fun i -> lo_n +. ((float_of_int i +. 0.5) *. w))
+    in
+    let masses =
+      Array.init k (fun i ->
+          grid_cdf_at gn (lo_n +. (float_of_int (i + 1) *. w))
+          -. grid_cdf_at gn (lo_n +. (float_of_int i *. w)))
+    in
+    let total_mass = Array.fold_left ( +. ) 0. masses in
+    if total_mass > 0. then begin
+      let mean_n = grid_mean gn in
+      let disc_mean = ref 0. in
+      Array.iteri (fun i c -> disc_mean := !disc_mean +. (masses.(i) *. c)) centers;
+      let delta = mean_n -. (!disc_mean /. total_mass) in
+      Array.iteri (fun i c -> centers.(i) <- c +. delta) centers
+    end;
+    Atomic.set gn.atoms (Some (centers, masses));
+    (centers, masses)
+
 let k_point_sum ~points gw gn =
-  let k = 17 in
-  let lo_n = gn.lo and hi_n = grid_hi gn in
-  let w = (hi_n -. lo_n) /. float_of_int k in
-  let centers =
-    Array.init k (fun i -> lo_n +. ((float_of_int i +. 0.5) *. w))
-  in
-  let masses =
-    Array.init k (fun i ->
-        grid_cdf_at gn (lo_n +. (float_of_int (i + 1) *. w))
-        -. grid_cdf_at gn (lo_n +. (float_of_int i *. w)))
-  in
-  (* recenter the atoms so Σ mᵢcᵢ equals the narrow mean exactly *)
-  let total_mass = Array.fold_left ( +. ) 0. masses in
-  if total_mass > 0. then begin
-    let mean_n = integrate_weighted gn (fun x -> x) in
-    let disc_mean = ref 0. in
-    Array.iteri (fun i c -> disc_mean := !disc_mean +. (masses.(i) *. c)) centers;
-    let delta = mean_n -. (!disc_mean /. total_mass) in
-    Array.iteri (fun i c -> centers.(i) <- c +. delta) centers
-  end;
-  let lo = gw.lo +. lo_n and hi = grid_hi gw +. hi_n in
+  let centers, masses = kp_atoms gn in
+  let k = Array.length masses in
+  let lo = gw.lo +. gn.lo and hi = grid_hi gw +. grid_hi gn in
   let dx = (hi -. lo) /. float_of_int (points - 1) in
-  let pdf =
-    Array.init points (fun j ->
-        let x = lo +. (float_of_int j *. dx) in
-        let acc = ref 0. in
-        for i = 0 to k - 1 do
-          if masses.(i) > 0. then
-            acc := !acc +. (masses.(i) *. grid_pdf_at gw (x -. centers.(i)))
-        done;
-        !acc)
-  in
-  Grid (make_grid ~lo ~dx pdf)
+  let gw_hi = grid_hi gw in
+  let s = grid_spline gw in
+  let buf = scratch_c points in
+  Array.fill buf 0 points 0.;
+  (* Precompute the sample abscissas once: int→float conversion is much
+     slower than a load on this target, so the atom-outer loop below
+     reads them instead of recomputing lo + j·dx per (atom, cell). *)
+  let xbuf = scratch_a points in
+  for j = 0 to points - 1 do
+    Array.unsafe_set xbuf j (lo +. (float_of_int j *. dx))
+  done;
+  (* Atom-outer accumulation: per output cell this performs the same
+     left-associated sum over atoms 0..k−1 as a cell-outer loop would
+     (skipped zero-mass atoms contribute nothing either way), so the
+     result is bit-identical — but the mass, center, and spline cursor
+     are hoisted out of the inner scan, and within an atom the queries
+     x − cᵢ are increasing in j, so every spline lookup stays O(1)
+     amortized off one cursor. *)
+  for i = 0 to k - 1 do
+    let mi = Array.unsafe_get masses i in
+    if mi > 0. then begin
+      let ci = Array.unsafe_get centers i in
+      let cur = Numerics.Spline.cursor () in
+      for j = 0 to points - 1 do
+        let xi = Array.unsafe_get xbuf j -. ci in
+        let f =
+          if xi < gw.lo || xi > gw_hi then 0.
+          else Float.max 0. (Numerics.Spline.eval_walk s cur xi)
+        in
+        Array.unsafe_set buf j (Array.unsafe_get buf j +. (mi *. f))
+      done
+    end
+  done;
+  Grid (make_grid_n ~lo ~dx ~n:points buf)
 
 (* Sum of a wide grid [gw] and a narrow one [gn] whose support is below
    the working resolution: convolve [gw] with the two-point surrogate of
    [gn] (atoms at mean ± std, mass ½ each). *)
 let two_point_sum ~points gw gn =
-  let mu = integrate_weighted gn (fun x -> x) in
-  let sigma =
-    let d2 x =
-      let d = x -. mu in
-      d *. d
-    in
-    sqrt (Float.max 0. (integrate_weighted gn d2))
-  in
+  let mu = grid_mean gn in
+  let sigma = sqrt (Float.max 0. (grid_var_about mu gn)) in
   let lo = gw.lo +. gn.lo and hi = grid_hi gw +. grid_hi gn in
   let dx = (hi -. lo) /. float_of_int (points - 1) in
-  let pdf =
-    Array.init points (fun k ->
-        let x = lo +. (float_of_int k *. dx) in
-        0.5 *. (grid_pdf_at gw (x -. (mu -. sigma)) +. grid_pdf_at gw (x -. (mu +. sigma))))
-  in
-  Grid (make_grid ~lo ~dx pdf)
+  let gw_hi = grid_hi gw in
+  let s = grid_spline gw in
+  let c1 = Numerics.Spline.cursor () and c2 = Numerics.Spline.cursor () in
+  let buf = scratch_c points in
+  for j = 0 to points - 1 do
+    let x = lo +. (float_of_int j *. dx) in
+    let x1 = x -. (mu -. sigma) and x2 = x -. (mu +. sigma) in
+    let f1 =
+      if x1 < gw.lo || x1 > gw_hi then 0.
+      else Float.max 0. (Numerics.Spline.eval_walk s c1 x1)
+    in
+    let f2 =
+      if x2 < gw.lo || x2 > gw_hi then 0.
+      else Float.max 0. (Numerics.Spline.eval_walk s c2 x2)
+    in
+    buf.(j) <- 0.5 *. (f1 +. f2)
+  done;
+  Grid (make_grid_n ~lo ~dx ~n:points buf)
 
 let add ?(points = default_points) d1 d2 =
   match (d1, d2) with
@@ -345,15 +547,16 @@ let add ?(points = default_points) d1 d2 =
     else if range2 < (range1 +. range2) /. 16. then
       trim ~points (k_point_sum ~points g1 g2)
     else begin
-    let n_of range = Int.max 2 (int_of_float (Float.ceil (range /. dx -. 1e-9)) + 1) in
-    let n1 = n_of range1 and n2 = n_of range2 in
-    let p1 = sample_onto ~lo:g1.lo ~dx ~n:n1 g1 in
-    let p2 = sample_onto ~lo:g2.lo ~dx ~n:n2 g2 in
-    let conv = Numerics.Convolution.auto p1 p2 in
-    (* f_{X+Y}(z) = ∫ f_X(x) f_Y(z−x) dx ≈ dx · Σ — the dx factor is
-       absorbed by make_grid's renormalization. *)
-    let sum = Grid (make_grid ~lo:(g1.lo +. g2.lo) ~dx conv) in
-    trim ~points sum
+      let n_of range = Int.max 2 (int_of_float (Float.ceil (range /. dx -. 1e-9)) + 1) in
+      let n1 = n_of range1 and n2 = n_of range2 in
+      let p1 = scratch_a n1 and p2 = scratch_b n2 in
+      sample_onto_into ~lo:g1.lo ~dx ~n:n1 g1 p1;
+      sample_onto_into ~lo:g2.lo ~dx ~n:n2 g2 p2;
+      let conv = scratch_c (n1 + n2 - 1) in
+      Numerics.Convolution.auto_into ~out:conv p1 n1 p2 n2;
+      (* f_{X+Y}(z) = ∫ f_X(x) f_Y(z−x) dx ≈ dx · Σ — the dx factor is
+         absorbed by make_grid_n's renormalization. *)
+      trim ~points (Grid (make_grid_n ~lo:(g1.lo +. g2.lo) ~dx ~n:(n1 + n2 - 1) conv))
     end
 
 let max_indep ?(points = default_points) d1 d2 =
@@ -368,30 +571,44 @@ let max_indep ?(points = default_points) d1 d2 =
          atom is spread over the first cell of the result grid *)
       let mass = grid_cdf_at g a in
       let dx = (hi -. a) /. float_of_int (points - 1) in
-      let pdf = sample_onto ~lo:a ~dx ~n:points g in
-      pdf.(0) <- pdf.(0) +. (2. *. mass /. dx);
-      (* make_grid renormalizes; pre-scale the continuous part so that the
-         atom and the tail keep their relative weights under the trapezoid
-         rule (first cell has weight dx/2, hence the factor 2). *)
-      Grid (make_grid ~lo:a ~dx pdf)
+      let buf = scratch_c points in
+      sample_onto_into ~lo:a ~dx ~n:points g buf;
+      buf.(0) <- buf.(0) +. (2. *. mass /. dx);
+      (* make_grid_n renormalizes; pre-scale the continuous part so that
+         the atom and the tail keep their relative weights under the
+         trapezoid rule (first cell has weight dx/2, hence the factor 2). *)
+      Grid (make_grid_n ~lo:a ~dx ~n:points buf)
     end
   | Grid g1, Grid g2 ->
     let lo = Float.max g1.lo g2.lo in
     let hi = Float.max (grid_hi g1) (grid_hi g2) in
     if hi <= lo then Const lo
     else begin
+      (* fused f₁F₂ + f₂F₁ scan: the query points are increasing, so two
+         spline cursors replace the per-point binary searches while the
+         CDF lookups stay the O(1) linear-interp reads they always were *)
       let dx = (hi -. lo) /. float_of_int (points - 1) in
-      let pdf =
-        Array.init points (fun k ->
-            let x = lo +. (float_of_int k *. dx) in
-            (grid_pdf_at g1 x *. grid_cdf_at g2 x)
-            +. (grid_pdf_at g2 x *. grid_cdf_at g1 x))
-      in
+      let hi1 = grid_hi g1 and hi2 = grid_hi g2 in
+      let s1 = grid_spline g1 and s2 = grid_spline g2 in
+      let c1 = Numerics.Spline.cursor () and c2 = Numerics.Spline.cursor () in
+      let buf = scratch_c points in
+      for k = 0 to points - 1 do
+        let x = lo +. (float_of_int k *. dx) in
+        let f1 =
+          if x < g1.lo || x > hi1 then 0.
+          else Float.max 0. (Numerics.Spline.eval_walk s1 c1 x)
+        in
+        let f2 =
+          if x < g2.lo || x > hi2 then 0.
+          else Float.max 0. (Numerics.Spline.eval_walk s2 c2 x)
+        in
+        buf.(k) <- (f1 *. grid_cdf_at g2 x) +. (f2 *. grid_cdf_at g1 x)
+      done;
       (* P(max ≤ lo) can be positive when one support starts below the
          other: fold that atom into the first cell as above. *)
       let atom = grid_cdf_at g1 lo *. grid_cdf_at g2 lo in
-      if atom > 0. then pdf.(0) <- pdf.(0) +. (2. *. atom /. dx);
-      trim ~points (Grid (make_grid ~lo ~dx pdf))
+      if atom > 0. then buf.(0) <- buf.(0) +. (2. *. atom /. dx);
+      trim ~points (Grid (make_grid_n ~lo ~dx ~n:points buf))
     end
 
 let max_comonotone ?(points = default_points) d1 d2 =
@@ -405,18 +622,19 @@ let max_comonotone ?(points = default_points) d1 d2 =
     let hi = Float.max (grid_hi g1) (grid_hi g2) in
     if hi <= lo then Const lo
     else begin
-      (* density from central differences of F(x) = min(F₁, F₂) *)
+      (* density from central differences of F(x) = min(F₁, F₂); CDF-only,
+         so neither input spline is ever forced *)
       let dx = (hi -. lo) /. float_of_int (points - 1) in
       let cdf_at x = Float.min (grid_cdf_at g1 x) (grid_cdf_at g2 x) in
-      let pdf =
-        Array.init points (fun k ->
-            let x = lo +. (float_of_int k *. dx) in
-            (cdf_at (x +. (dx /. 2.)) -. cdf_at (x -. (dx /. 2.))) /. dx)
-      in
+      let buf = scratch_c points in
+      for k = 0 to points - 1 do
+        let x = lo +. (float_of_int k *. dx) in
+        buf.(k) <- (cdf_at (x +. (dx /. 2.)) -. cdf_at (x -. (dx /. 2.))) /. dx
+      done;
       (* fold the possible atom at the lower end into the first cell *)
       let atom = cdf_at lo in
-      if atom > 0. then pdf.(0) <- pdf.(0) +. (2. *. atom /. dx);
-      trim ~points (Grid (make_grid ~lo ~dx pdf))
+      if atom > 0. then buf.(0) <- buf.(0) +. (2. *. atom /. dx);
+      trim ~points (Grid (make_grid_n ~lo ~dx ~n:points buf))
     end
 
 let add_list ?points ds = List.fold_left (fun acc d -> add ?points acc d) (Const 0.) ds

@@ -61,7 +61,7 @@ let random_count sources =
     (fun acc s -> match s with Runner.Random _ -> acc + 1 | _ -> acc)
     0 sources
 
-let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
+let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
   let cases = match cases with Some c -> c | None -> Case.paper_cases () in
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   let progress = Obs.Progress.create ~total:(List.length cases) "campaign" in
@@ -91,7 +91,7 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
                 }
               | None ->
                 Elog.debug "campaign: %s has no usable checkpoint, sweeping" case.Case.id;
-                let result = Runner.run ?domains ~scale ?slack_mode case in
+                let result = Runner.run ?domains ?pool ~scale ?slack_mode case in
                 ignore (Export.write_file ~dir ~name:(case.Case.id ^ ".csv")
                           (Export.schedules_csv result));
                 {
@@ -109,13 +109,7 @@ let run ?domains ?(scale = Scale.of_env ()) ?slack_mode ~dir ?cases () =
   let matrices =
     List.map
       (fun r ->
-        let randoms =
-          Array.of_list
-            (List.filteri
-               (fun i _ -> match r.sources.(i) with Runner.Random _ -> true | _ -> false)
-               (Array.to_list r.rows))
-        in
-        Correlate.matrix randoms)
+        Correlate.matrix (Runner.random_rows_of ~sources:r.sources ~rows:r.rows))
       results
   in
   let mean, std = Correlate.mean_std matrices in

@@ -28,6 +28,7 @@ val load_rows : string -> (Runner.source * float array) array
 
 val run :
   ?domains:int ->
+  ?pool:Parallel.Pool.t ->
   ?scale:Scale.t ->
   ?slack_mode:Sched.Slack.graph_mode ->
   dir:string ->
@@ -37,6 +38,8 @@ val run :
 (** Run (or resume) a campaign over [cases] (default
     {!Case.paper_cases}). A case is recomputed when its checkpoint is
     missing or holds fewer random schedules than the requested scale
-    (so upgrading [smoke] checkpoints to a [small] run redoes them). *)
+    (so upgrading [smoke] checkpoints to a [small] run redoes them).
+    [?pool]/[?domains] select sweep workers as in {!Runner.run}; by
+    default every case shares one persistent pool. *)
 
 val render : t -> string

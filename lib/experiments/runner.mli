@@ -18,6 +18,7 @@ val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
 
 val run :
   ?domains:int ->
+  ?pool:Parallel.Pool.t ->
   ?scale:Scale.t ->
   ?slack_mode:Sched.Slack.graph_mode ->
   ?count:int ->
@@ -27,12 +28,17 @@ val run :
     auto-calibrate δ and γ on a pilot batch (§V picked constants manually
     for its weight scale), then evaluate every schedule's metric vector in
     parallel through one shared {!Makespan.Engine} (classical makespan
-    distribution + mean-weight slack, [`Disjunctive] by default).
+    distribution + mean-weight slack, [`Disjunctive] by default). The
+    pilot schedules are the first entries of the sweep, and their pilot
+    evaluations are reused for their metric rows rather than evaluated a
+    second time.
 
     [count] overrides the number of random schedules (default
     [paper_schedules / scale]); with [~count:0] only the heuristic
     schedules are evaluated and the calibration pilot falls back to
-    them. *)
+    them. Worker selection follows {!Parallel.Pool.run}: explicit
+    [?pool], legacy one-shot [?domains], or the shared persistent
+    pool. *)
 
 val heuristic_rows : result -> (string * float array) list
 (** The heuristics' raw metric vectors. *)
@@ -40,3 +46,8 @@ val heuristic_rows : result -> (string * float array) list
 val random_rows : result -> float array array
 (** The random schedules' raw metric vectors (correlations are computed
     on these, as in the paper). *)
+
+val random_rows_of : sources:source array -> rows:float array array -> float array array
+(** [random_rows] over any (sources, rows) pairing — one counting pass
+    plus one fill pass, no intermediate lists. {!Campaign} uses this on
+    checkpointed rows. *)

@@ -17,21 +17,29 @@ let completion_dists_with ~points ~dgraph ?completion
   in
   Array.iter
     (fun v ->
-      let arrivals =
-        Array.to_list (Dag.Graph.preds dgraph v)
-        |> List.map (fun (p, _) ->
-               (* disjunctive edges carry no data: volume lookup must use
-                  the original graph *)
-               match Dag.Graph.volume graph ~src:p ~dst:v with
-               | None -> completion.(p)
-               | Some volume ->
-                 let comm = comm_dist ~volume ~src:proc_of.(p) ~dst:proc_of.(v) in
-                 Distribution.Dist.add ~points completion.(p) comm)
+      (* fused arrival/max loop: same left fold as the historical
+         [max_list] over a materialized arrival list (bit-identical
+         results), without the per-node list and intermediate array *)
+      let arrival (p, _) =
+        (* disjunctive edges carry no data: volume lookup must use the
+           original graph *)
+        match Dag.Graph.volume graph ~src:p ~dst:v with
+        | None -> completion.(p)
+        | Some volume ->
+          let comm = comm_dist ~volume ~src:proc_of.(p) ~dst:proc_of.(v) in
+          Distribution.Dist.add ~points completion.(p) comm
       in
+      let preds = Dag.Graph.preds dgraph v in
+      let np = Array.length preds in
       let ready =
-        match arrivals with
-        | [] -> Distribution.Dist.const 0.
-        | ds -> Distribution.Dist.max_list ~points ds
+        if np = 0 then Distribution.Dist.const 0.
+        else begin
+          let acc = ref (arrival preds.(0)) in
+          for i = 1 to np - 1 do
+            acc := Distribution.Dist.max_indep ~points !acc (arrival preds.(i))
+          done;
+          !acc
+        end
       in
       let dur = task_dist ~task:v ~proc:proc_of.(v) in
       completion.(v) <- Distribution.Dist.add ~points ready dur)
@@ -40,8 +48,12 @@ let completion_dists_with ~points ~dgraph ?completion
 
 let makespan_of_exits ~points dgraph completion =
   let exits = Dag.Graph.exits dgraph in
-  Distribution.Dist.max_list ~points
-    (Array.to_list (Array.map (fun e -> completion.(e)) exits))
+  if Array.length exits = 0 then invalid_arg "Dist.max_list: empty list";
+  let acc = ref completion.(exits.(0)) in
+  for i = 1 to Array.length exits - 1 do
+    acc := Distribution.Dist.max_indep ~points !acc completion.(exits.(i))
+  done;
+  !acc
 
 let completion_dists sched platform model =
   let points = model.Workloads.Stochastify.points in

@@ -11,10 +11,29 @@ let direct a b =
   done;
   out
 
-(* Per-domain workspace: the four transform buffers are reused across
-   calls (one quadruple per power-of-two size, zeroed before use), so the
-   distribution algebra's hot path — thousands of small convolutions per
-   schedule sweep — stops allocating. Domain-local storage keeps parallel
+(* Length-explicit kernel writing into a caller buffer: [a] and [b] are
+   read as prefixes of length [n] and [m] (they may be oversized pooled
+   arenas), and [out.(0 .. n+m-2)] receives the full linear convolution. *)
+let direct_into ~out a n b m =
+  if n = 0 || m = 0 then invalid_arg "Convolution.direct: empty input";
+  if Array.length a < n || Array.length b < m then
+    invalid_arg "Convolution.direct_into: prefix longer than operand";
+  Array.fill out 0 (n + m - 1) 0.;
+  (* unsafe: i + j ≤ n + m − 2 < length out, i < n ≤ length a,
+     j < m ≤ length b *)
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a i in
+    if ai <> 0. then
+      for j = 0 to m - 1 do
+        Array.unsafe_set out (i + j)
+          (Array.unsafe_get out (i + j) +. (ai *. Array.unsafe_get b j))
+      done
+  done
+
+(* Per-domain workspace: transform buffers are reused across calls (one
+   set per power-of-two size, zeroed before use), so the distribution
+   algebra's hot path — thousands of small convolutions per schedule
+   sweep — stops allocating. Domain-local storage keeps parallel
    evaluation race-free without locks. The FFT operates on whole arrays,
    so buffers are keyed by their exact (power-of-two) length. *)
 type buffers = {
@@ -28,8 +47,8 @@ let workspace_key : (int, buffers) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 8)
 
 (* Workspace growth telemetry: each first-touch of a (domain, size) pair
-   allocates four [size]-float buffers; the counters record how often and
-   how many words, so sweeps can attribute allocation to FFT scratch. *)
+   allocates transform buffers; the counters record how often and how
+   many words, so sweeps can attribute allocation to FFT scratch. *)
 let m_ws_allocs = Obs.Metrics.counter "fft.workspace_allocs"
 let m_ws_words = Obs.Metrics.counter "fft.workspace_words"
 
@@ -52,8 +71,27 @@ let workspace_buffers size =
     Hashtbl.add tbl size w;
     w
 
-let fft a b =
-  let n = Array.length a and m = Array.length b in
+(* Packed-real transforms need only one complex buffer pair per size. *)
+type pair = { zre : float array; zim : float array }
+
+let pair_key : (int, pair) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let pair_buffers size =
+  let tbl = Domain.DLS.get pair_key in
+  match Hashtbl.find_opt tbl size with
+  | Some w ->
+    Array.fill w.zre 0 size 0.;
+    Array.fill w.zim 0 size 0.;
+    w
+  | None ->
+    Obs.Metrics.incr m_ws_allocs;
+    Obs.Metrics.add m_ws_words (2 * size);
+    let w = { zre = Array.make size 0.; zim = Array.make size 0. } in
+    Hashtbl.add tbl size w;
+    w
+
+let fft_into ~out a n b m =
   if n = 0 || m = 0 then invalid_arg "Convolution.fft: empty input";
   let size = Array_ops.next_pow2 (n + m - 1) in
   let w = workspace_buffers size in
@@ -63,16 +101,81 @@ let fft a b =
   Fft.forward are aim;
   Fft.forward bre bim;
   for i = 0 to size - 1 do
-    let r = (are.(i) *. bre.(i)) -. (aim.(i) *. bim.(i)) in
-    let j = (are.(i) *. bim.(i)) +. (aim.(i) *. bre.(i)) in
-    are.(i) <- r;
-    aim.(i) <- j
+    let ar = Array.unsafe_get are i and ai = Array.unsafe_get aim i in
+    let br = Array.unsafe_get bre i and bi = Array.unsafe_get bim i in
+    Array.unsafe_set are i ((ar *. br) -. (ai *. bi));
+    Array.unsafe_set aim i ((ar *. bi) +. (ai *. br))
   done;
   Fft.inverse are aim;
-  Array.sub are 0 (n + m - 1)
+  Array.blit are 0 out 0 (n + m - 1)
 
-let overlap_add ?block a b =
+let fft a b =
   let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.fft: empty input";
+  let out = Array.make (n + m - 1) 0. in
+  fft_into ~out a n b m;
+  out
+
+(* Packed real convolution: both operands are real, so they travel in one
+   complex transform z = a + i·b. By conjugate symmetry of real signals,
+   the individual spectra are recovered as
+     A_k = (Z_k + conj Z_{n-k}) / 2,   B_k = (Z_k − conj Z_{n-k}) / 2i,
+   the product spectrum C = A·B is Hermitian (C_{n-k} = conj C_k), and a
+   single inverse transform yields the real convolution. One forward
+   transform instead of two; bins 0 and n/2 are self-conjugate and purely
+   real. Results differ from {!fft} only in rounding (≪ 1e-9 at the
+   grid sizes the distribution algebra uses). *)
+let fft_packed_into ~out a n b m =
+  if n = 0 || m = 0 then invalid_arg "Convolution.fft_packed: empty input";
+  let size = Array_ops.next_pow2 (n + m - 1) in
+  let w = pair_buffers size in
+  let zre = w.zre and zim = w.zim in
+  Array.blit a 0 zre 0 n;
+  Array.blit b 0 zim 0 m;
+  Fft.forward zre zim;
+  (* bin 0: A_0 = re Z_0, B_0 = im Z_0 *)
+  zre.(0) <- zre.(0) *. zim.(0);
+  zim.(0) <- 0.;
+  if size > 1 then begin
+    let h = size / 2 in
+    (* bin n/2 is likewise self-conjugate: A, B real *)
+    zre.(h) <- zre.(h) *. zim.(h);
+    zim.(h) <- 0.;
+    for k = 1 to h - 1 do
+      let nk = size - k in
+      let zr = Array.unsafe_get zre k and zi = Array.unsafe_get zim k in
+      let yr = Array.unsafe_get zre nk and yi = Array.unsafe_get zim nk in
+      let ar = 0.5 *. (zr +. yr) and ai = 0.5 *. (zi -. yi) in
+      let br = 0.5 *. (zi +. yi) and bi = 0.5 *. (yr -. zr) in
+      let cr = (ar *. br) -. (ai *. bi) in
+      let ci = (ar *. bi) +. (ai *. br) in
+      Array.unsafe_set zre k cr;
+      Array.unsafe_set zim k ci;
+      Array.unsafe_set zre nk cr;
+      Array.unsafe_set zim nk (-.ci)
+    done
+  end;
+  Fft.inverse zre zim;
+  Array.blit zre 0 out 0 (n + m - 1)
+
+let fft_packed a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.fft_packed: empty input";
+  let out = Array.make (n + m - 1) 0. in
+  fft_packed_into ~out a n b m;
+  out
+
+(* Overlap–add scratch: one growable chunk copy and one partial-result
+   buffer per domain, instead of an [Array.sub] + fresh piece per block. *)
+type oa_scratch = { mutable chunk : float array; mutable piece : float array }
+
+let oa_key : oa_scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { chunk = [||]; piece = [||] })
+
+let oa_grow buf len =
+  if Array.length buf >= len then buf else Array.make (Array_ops.next_pow2 len) 0.
+
+let overlap_add_into ~out ?block a n b m =
   if n = 0 || m = 0 then invalid_arg "Convolution.overlap_add: empty input";
   (* Convolve kernel [b] with consecutive blocks of [a]; partial results
      overlap by m-1 samples and add. *)
@@ -83,23 +186,45 @@ let overlap_add ?block a b =
       s
     | None -> Int.max m 64
   in
-  let out = Array.make (n + m - 1) 0. in
+  Array.fill out 0 (n + m - 1) 0.;
+  let s = Domain.DLS.get oa_key in
+  s.chunk <- oa_grow s.chunk (Int.min block n);
+  s.piece <- oa_grow s.piece (Int.min block n + m - 1);
+  let chunk = s.chunk and piece = s.piece in
   let pos = ref 0 in
   while !pos < n do
     let len = Int.min block (n - !pos) in
-    let chunk = Array.sub a !pos len in
-    let piece = fft chunk b in
-    for i = 0 to Array.length piece - 1 do
-      out.(!pos + i) <- out.(!pos + i) +. piece.(i)
+    Array.blit a !pos chunk 0 len;
+    fft_packed_into ~out:piece chunk len b m;
+    let base = !pos in
+    for i = 0 to len + m - 2 do
+      Array.unsafe_set out (base + i)
+        (Array.unsafe_get out (base + i) +. Array.unsafe_get piece i)
     done;
     pos := !pos + len
-  done;
+  done
+
+let overlap_add ?block a b =
+  let n = Array.length a and m = Array.length b in
+  if n = 0 || m = 0 then invalid_arg "Convolution.overlap_add: empty input";
+  let out = Array.make (n + m - 1) 0. in
+  overlap_add_into ~out ?block a n b m;
   out
+
+(* Heuristic dispatch, unchanged thresholds: tiny products go direct,
+   strongly mismatched lengths go overlap–add (with the longer operand
+   as the signal), the rest one packed-real FFT. *)
+let auto_into ~out a n b m =
+  let small = Int.min n m and large = Int.max n m in
+  if small * large <= 4096 then direct_into ~out a n b m
+  else if large > 8 * small then
+    if n >= m then overlap_add_into ~out a n b m
+    else overlap_add_into ~out b m a n
+  else fft_packed_into ~out a n b m
 
 let auto a b =
   let n = Array.length a and m = Array.length b in
-  let small = Int.min n m and large = Int.max n m in
-  if small * large <= 4096 then direct a b
-  else if large > 8 * small then
-    if n >= m then overlap_add a b else overlap_add b a
-  else fft a b
+  if n = 0 || m = 0 then invalid_arg "Convolution: empty input";
+  let out = Array.make (n + m - 1) 0. in
+  auto_into ~out a n b m;
+  out

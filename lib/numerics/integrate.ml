@@ -1,9 +1,13 @@
+(* Quadrature over pre-sampled uniform grids. These run inside every
+   distribution construction, so the loops use unsafe accesses — indices
+   are bounded by the length checks on entry. *)
+
 let trapezoid_sampled ~dx ys =
   let n = Array.length ys in
   if n < 2 then invalid_arg "Integrate.trapezoid_sampled: need >= 2 samples";
   let s = ref ((ys.(0) +. ys.(n - 1)) /. 2.) in
   for i = 1 to n - 2 do
-    s := !s +. ys.(i)
+    s := !s +. Array.unsafe_get ys i
   done;
   !s *. dx
 
@@ -19,7 +23,7 @@ let simpson_sampled ~dx ys =
     let s = ref (ys.(0) +. ys.(simpson_intervals)) in
     for i = 1 to simpson_intervals - 1 do
       let w = if i mod 2 = 1 then 4. else 2. in
-      s := !s +. (w *. ys.(i))
+      s := !s +. (w *. Array.unsafe_get ys i)
     done;
     let main = !s *. dx /. 3. in
     let tail =
@@ -41,6 +45,8 @@ let cumulative ~dx ys =
   if n < 1 then invalid_arg "Integrate.cumulative: empty input";
   let out = Array.make n 0. in
   for i = 1 to n - 1 do
-    out.(i) <- out.(i - 1) +. ((ys.(i - 1) +. ys.(i)) /. 2. *. dx)
+    Array.unsafe_set out i
+      (Array.unsafe_get out (i - 1)
+      +. ((Array.unsafe_get ys (i - 1) +. Array.unsafe_get ys i) /. 2. *. dx))
   done;
   out

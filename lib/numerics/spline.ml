@@ -4,6 +4,10 @@ type t = {
   y2 : float array; (* second derivatives at the knots *)
 }
 
+(* Hot path: spline fit/eval dominates distribution resampling, so the
+   loops below use unsafe accesses — every index is bounded by [n],
+   validated on entry. *)
+
 let fit ~xs ~ys =
   let n = Array.length xs in
   if Array.length ys <> n then invalid_arg "Spline.fit: xs/ys length mismatch";
@@ -17,17 +21,21 @@ let fit ~xs ~ys =
   let y2 = Array.make n 0. in
   let u = Array.make n 0. in
   for i = 1 to n - 2 do
-    let sig_ = (xs.(i) -. xs.(i - 1)) /. (xs.(i + 1) -. xs.(i - 1)) in
-    let p = (sig_ *. y2.(i - 1)) +. 2. in
-    y2.(i) <- (sig_ -. 1.) /. p;
-    let slope_hi = (ys.(i + 1) -. ys.(i)) /. (xs.(i + 1) -. xs.(i)) in
-    let slope_lo = (ys.(i) -. ys.(i - 1)) /. (xs.(i) -. xs.(i - 1)) in
-    u.(i) <-
-      (((6. *. (slope_hi -. slope_lo)) /. (xs.(i + 1) -. xs.(i - 1))) -. (sig_ *. u.(i - 1)))
-      /. p
+    let x_lo = Array.unsafe_get xs (i - 1)
+    and x_mid = Array.unsafe_get xs i
+    and x_hi = Array.unsafe_get xs (i + 1) in
+    let sig_ = (x_mid -. x_lo) /. (x_hi -. x_lo) in
+    let p = (sig_ *. Array.unsafe_get y2 (i - 1)) +. 2. in
+    Array.unsafe_set y2 i ((sig_ -. 1.) /. p);
+    let slope_hi = (Array.unsafe_get ys (i + 1) -. Array.unsafe_get ys i) /. (x_hi -. x_mid) in
+    let slope_lo = (Array.unsafe_get ys i -. Array.unsafe_get ys (i - 1)) /. (x_mid -. x_lo) in
+    Array.unsafe_set u i
+      ((((6. *. (slope_hi -. slope_lo)) /. (x_hi -. x_lo)) -. (sig_ *. Array.unsafe_get u (i - 1)))
+      /. p)
   done;
   for i = n - 2 downto 1 do
-    y2.(i) <- (y2.(i) *. y2.(i + 1)) +. u.(i)
+    Array.unsafe_set y2 i
+      ((Array.unsafe_get y2 i *. Array.unsafe_get y2 (i + 1)) +. Array.unsafe_get u i)
   done;
   { xs; ys; y2 }
 
@@ -37,19 +45,53 @@ let segment t x =
   let lo = ref 0 and hi = ref (n - 1) in
   while !hi - !lo > 1 do
     let mid = (!lo + !hi) / 2 in
-    if t.xs.(mid) > x then hi := mid else lo := mid
+    if Array.unsafe_get t.xs mid > x then hi := mid else lo := mid
   done;
   !lo
 
-let eval t x =
-  let i = segment t x in
-  let h = t.xs.(i + 1) -. t.xs.(i) in
-  let a = (t.xs.(i + 1) -. x) /. h in
-  let b = (x -. t.xs.(i)) /. h in
-  (a *. t.ys.(i))
-  +. (b *. t.ys.(i + 1))
-  +. ((((a *. a *. a) -. a) *. t.y2.(i)) +. (((b *. b *. b) -. b) *. t.y2.(i + 1)))
+let eval_at t i x =
+  let xs = t.xs and ys = t.ys and y2 = t.y2 in
+  let x_i = Array.unsafe_get xs i and x_i1 = Array.unsafe_get xs (i + 1) in
+  let h = x_i1 -. x_i in
+  let a = (x_i1 -. x) /. h in
+  let b = (x -. x_i) /. h in
+  (a *. Array.unsafe_get ys i)
+  +. (b *. Array.unsafe_get ys (i + 1))
+  +. ((((a *. a *. a) -. a) *. Array.unsafe_get y2 i)
+     +. (((b *. b *. b) -. b) *. Array.unsafe_get y2 (i + 1)))
      *. h *. h /. 6.
+
+let eval t x = eval_at t (segment t x) x
+
+(* A walker is a stateful evaluator for query sequences that are mostly
+   increasing (grid resampling scans): it keeps the last segment index
+   and advances linearly, falling back to the binary search only when a
+   query regresses. The segment chosen is identical to [segment]'s — the
+   largest [i] with [xs.(i) <= x], clamped to [n − 2] — so a walker
+   returns bit-identical values to [eval], just without the O(log n)
+   search per point. *)
+type cursor = { mutable seg : int }
+
+let cursor () = { seg = 0 }
+
+let eval_walk t cur x =
+  let xs = t.xs in
+  let s = cur.seg in
+  let s =
+    if x < Array.unsafe_get xs s then segment t x
+    else begin
+      let n = Array.length xs in
+      let c = ref s in
+      while !c < n - 2 && Array.unsafe_get xs (!c + 1) <= x do incr c done;
+      !c
+    end
+  in
+  cur.seg <- s;
+  eval_at t s x
+
+let walker t =
+  let cur = cursor () in
+  fun x -> eval_walk t cur x
 
 let eval_clamped t x =
   let n = Array.length t.xs in

@@ -17,6 +17,26 @@ val eval : t -> float -> float
 (** [eval s x] evaluates the spline. Outside the knot range the boundary
     cubic is extrapolated. *)
 
+type cursor
+(** Mutable knot-segment position for mostly-increasing query sequences.
+    One cursor per scan; never share one across domains. *)
+
+val cursor : unit -> cursor
+(** A fresh cursor at the first segment. *)
+
+val eval_walk : t -> cursor -> float -> float
+(** [eval_walk s c x] evaluates the spline at [x], advancing [c]
+    linearly from its last segment instead of binary-searching per
+    point, and falling back to the search on a regressing query. Returns
+    values bit-identical to {!eval}. This is the allocation-free direct
+    form of {!walker} — hot scans prefer it because each call is a plain
+    function call, not a closure invocation. *)
+
+val walker : t -> float -> float
+(** [walker s] is {!eval_walk} packaged as a closure over a fresh
+    {!cursor}: a stateful evaluator for mostly-increasing query
+    sequences. Returns values bit-identical to {!eval}. *)
+
 val eval_clamped : t -> float -> float
 (** Like {!eval} but returns the boundary ordinate outside the knot range —
     the right choice for densities, which must not oscillate when

@@ -3,18 +3,53 @@
     Work is cut into a {e fixed} number of chunks claimed through an
     atomic counter, so results depend only on the chunk decomposition —
     never on how many domains happened to run. This is what keeps the
-    experiment pipeline bit-reproducible whatever the machine size. *)
+    experiment pipeline bit-reproducible whatever the machine size.
+
+    Two execution modes share that contract:
+    - a {e persistent} pool ({!t}): helper domains are spawned once and
+      parked on a condition variable between jobs, so campaigns running
+      thousands of small fan-outs pay spawn/join once. This is the
+      default — callers that pass nothing use the process-wide
+      {!shared} pool.
+    - a {e legacy one-shot} mode ([?domains]): helper domains are
+      spawned and joined per call. Kept for tests and ablations that
+      pin an explicit domain count. *)
 
 val default_domains : unit -> int
 (** [max 1 (recommended_domain_count − 1)] — leave one core for the
     orchestrating domain. *)
 
-val run : ?domains:int -> chunks:int -> (int -> unit) -> unit
+type t
+(** A persistent worker pool. *)
+
+val create : ?domains:int -> unit -> t
+(** [create ()] spawns [domains − 1] helper domains (default
+    {!default_domains}) that park between jobs. The calling domain
+    participates in every job, so a pool of [domains:1] runs inline. *)
+
+val size : t -> int
+(** Number of domains that participate in a job (helpers + caller). *)
+
+val shutdown : t -> unit
+(** Wake and join the helper domains. An in-flight job completes first;
+    subsequent {!run} calls on the pool raise [Invalid_argument].
+    Idempotent. Must not be called from inside a pool job. *)
+
+val shared : unit -> t
+(** The process-wide pool, created on first use and shut down via
+    [at_exit]. *)
+
+val run : ?domains:int -> ?pool:t -> chunks:int -> (int -> unit) -> unit
 (** [run ~chunks f] calls [f c] exactly once for every
-    [c ∈ \[0, chunks)], distributing chunks over [domains] worker domains
-    (the calling domain participates). [f] must only write to
-    chunk-private state. The first exception raised by any chunk is
-    re-raised after all domains have joined.
+    [c ∈ \[0, chunks)], distributing chunks over worker domains (the
+    calling domain participates). [f] must only write to chunk-private
+    state. The first exception raised by any chunk is re-raised after
+    all workers have drained.
+
+    Worker selection: [?pool] runs on that pool; otherwise [?domains]
+    spawns that many one-shot domains (legacy mode); otherwise the
+    {!shared} pool is used. A nested [run] from inside a chunk always
+    drains inline on the calling domain.
 
     While any {!Obs} sink is enabled, each chunk is recorded as a
     ["pool.chunk"] span and the run feeds the [pool.chunks],

@@ -428,6 +428,69 @@ let of_dist_roundtrip () =
   check_close ~eps:1e-4 "mean" 7. p.Normal_pair.mean;
   check_close ~eps:1e-3 "std" 1.5 p.Normal_pair.std
 
+(* --- performance contracts of the fused kernels --- *)
+
+(* The sum/max/moment kernels run on per-domain arenas and write results
+   into exactly-sized grids: steady-state cost per operation is the
+   result grid itself (a few hundred minor words), never the working
+   buffers, spline fits, or intermediate lists. A leak that reintroduces
+   per-operation buffer allocation shows up here as thousands of extra
+   words per iteration. *)
+let fused_kernels_allocation_bound () =
+  let d1 = Family.uniform ~lo:0. ~hi:10. () in
+  let d2 = Family.uniform ~lo:2. ~hi:3.5 () in
+  (* warm up: grow the arenas, fit the operand splines, build the caches *)
+  for _ = 1 to 3 do
+    ignore (Sys.opaque_identity (Dist.add d1 d2));
+    ignore (Sys.opaque_identity (Dist.max_indep d1 d2));
+    ignore (Sys.opaque_identity (Dist.trim (Dist.add d1 d1)))
+  done;
+  let iters = 200 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    ignore (Sys.opaque_identity (Dist.add d1 d2));
+    ignore (Sys.opaque_identity (Dist.max_indep d1 d2));
+    ignore (Sys.opaque_identity (Dist.trim (Dist.add d1 d1)))
+  done;
+  let per_iter = (Gc.minor_words () -. before) /. float_of_int iters in
+  (* ~6.7k words/iter with pooled arenas (result grids + boxed spline
+     returns); the pre-arena implementation measured ~17.8k on the same
+     triple, so 8k separates the two regimes with margin *)
+  if per_iter > 8_000. then
+    Alcotest.failf "fused kernels allocated %.0f minor words per add+max+trim" per_iter
+
+(* Moment and CDF reads must not allocate at all in steady state — in
+   particular they must not force the lazy density spline. *)
+let moment_reads_do_not_allocate () =
+  let d = Dist.add (Family.uniform ~lo:0. ~hi:4. ()) (Family.uniform ~lo:1. ~hi:2. ()) in
+  let sink = ref 0. in
+  for _ = 1 to 3 do
+    sink := !sink +. Dist.mean d +. Dist.std d +. Dist.cdf_at d 3. +. Dist.quantile d 0.9
+  done;
+  let iters = 1_000 in
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    sink := !sink +. Dist.mean d +. Dist.std d +. Dist.cdf_at d 3. +. Dist.quantile d 0.9
+  done;
+  let per_iter = (Gc.minor_words () -. before) /. float_of_int iters in
+  ignore (Sys.opaque_identity !sink);
+  if per_iter > 100. then
+    Alcotest.failf "moment/CDF reads allocated %.0f minor words per iteration" per_iter
+
+(* The density spline is fit lazily on the first pdf query; the value it
+   returns must match a density reconstructed from an eagerly resampled
+   copy of the same grid. *)
+let lazy_spline_density_consistent () =
+  let d = Dist.add (Family.uniform ~lo:0. ~hi:4. ()) (Family.uniform ~lo:1. ~hi:2. ()) in
+  let r = Dist.resample ~points:64 d in
+  let lo, hi = Dist.support d in
+  for k = 0 to 32 do
+    let x = lo +. ((hi -. lo) *. float_of_int k /. 32.) in
+    check_close ~eps:1e-6
+      (Printf.sprintf "pdf at %g" x)
+      (Dist.pdf_at r x) (Dist.pdf_at d x)
+  done
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "distribution"
@@ -513,5 +576,11 @@ let () =
           tc "max consts" `Quick clark_max_consts;
           clark_matches_grid_max;
           tc "of_dist" `Quick of_dist_roundtrip;
+        ] );
+      ( "perf contracts",
+        [
+          tc "fused kernels allocation bound" `Quick fused_kernels_allocation_bound;
+          tc "moment reads allocate nothing" `Quick moment_reads_do_not_allocate;
+          tc "lazy spline density" `Quick lazy_spline_density_consistent;
         ] );
     ]

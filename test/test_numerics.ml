@@ -130,6 +130,65 @@ let conv_overlap_add_block_sizes () =
       Alcotest.(check bool) (Printf.sprintf "block %d" block) true (conv_close want got))
     [ 1; 2; 7; 64; 200 ]
 
+let conv_packed_matches_direct =
+  Tutil.qcheck ~count:100 "packed conv = direct conv" conv_gen (fun (a, b) ->
+      conv_close (Numerics.Convolution.direct a b) (Numerics.Convolution.fft_packed a b))
+
+(* Every strategy against the direct oracle at 1e-9, on operand sizes
+   whose padded length n+m−1 straddles a power of two — the boundary
+   where the transform plan size, the packed spectrum split, and the
+   overlap-add block count all change. *)
+let conv_strategies_agree_at_pow2_boundaries () =
+  let close want got =
+    Array.length want = Array.length got
+    && Array.for_all2
+         (fun x y -> Float.abs (x -. y) <= 1e-9 *. Float.max 1. (Float.abs x))
+         want got
+  in
+  List.iter
+    (fun (n, m) ->
+      let rng = Tutil.rng_of_seed ((n * 1009) + m) in
+      let mk k = Array.init k (fun _ -> Prng.Sampler.uniform rng ~lo:(-2.) ~hi:2.) in
+      let a = mk n and b = mk m in
+      let want = Numerics.Convolution.direct a b in
+      List.iter
+        (fun (name, f) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s %dx%d" name n m)
+            true
+            (close want (f a b)))
+        [ ("fft", Numerics.Convolution.fft);
+          ("packed", Numerics.Convolution.fft_packed);
+          ("overlap-add", fun a b -> Numerics.Convolution.overlap_add a b);
+          ("auto", Numerics.Convolution.auto) ])
+    [ (63, 2); (64, 2); (65, 2); (63, 63); (64, 64); (65, 65); (127, 3);
+      (128, 3); (129, 3); (127, 127); (128, 128); (129, 129); (255, 2);
+      (256, 2); (257, 64) ]
+
+(* The _into forms must equal their allocating counterparts when reading
+   prefixes of oversized arenas — the exact calling convention of the
+   distribution layer. *)
+let conv_into_reads_prefixes () =
+  let rng = Tutil.rng_of_seed 42 in
+  let n = 61 and m = 9 in
+  let pad k = Array.init (k + 17) (fun _ -> Prng.Sampler.uniform rng ~lo:(-2.) ~hi:2.) in
+  let a = pad n and b = pad m in
+  let want =
+    Numerics.Convolution.direct (Array.sub a 0 n) (Array.sub b 0 m)
+  in
+  List.iter
+    (fun (name, f) ->
+      let out = Array.make (n + m + 30) Float.nan in
+      f ~out a n b m;
+      let got = Array.sub out 0 (n + m - 1) in
+      Alcotest.(check bool) name true (conv_close want got))
+    [ ("direct_into", Numerics.Convolution.direct_into);
+      ("fft_into", Numerics.Convolution.fft_into);
+      ("fft_packed_into", Numerics.Convolution.fft_packed_into);
+      ("overlap_add_into", fun ~out a n b m ->
+        Numerics.Convolution.overlap_add_into ~out a n b m);
+      ("auto_into", Numerics.Convolution.auto_into) ]
+
 (* --- Spline --- *)
 
 let spline_interpolates_knots =
@@ -143,6 +202,33 @@ let spline_interpolates_knots =
       let ys = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-3.) ~hi:3.) in
       let s = Numerics.Spline.fit ~xs ~ys in
       Array.for_all2 (fun x y -> Float.abs (Numerics.Spline.eval s x -. y) < 1e-9) xs ys)
+
+let spline_walk_matches_eval =
+  Tutil.qcheck ~count:100 "cursor walk = eval bitwise"
+    QCheck2.Gen.(pair (int_range 2 30) (int_range 0 100000))
+    (fun (n, seed) ->
+      let rng = Tutil.rng_of_seed seed in
+      let xs =
+        Array.init n (fun i -> float_of_int i +. Prng.Sampler.uniform rng ~lo:0. ~hi:0.5)
+      in
+      let ys = Array.init n (fun _ -> Prng.Sampler.uniform rng ~lo:(-3.) ~hi:3.) in
+      let s = Numerics.Spline.fit ~xs ~ys in
+      let cur = Numerics.Spline.cursor () in
+      (* mostly-increasing scan with deliberate regressions: both the
+         linear-advance and the fallback-search paths must match [eval]
+         bit for bit *)
+      let ok = ref true in
+      for k = 0 to 199 do
+        let x =
+          if k mod 13 = 0 then Prng.Sampler.uniform rng ~lo:(-1.) ~hi:(float_of_int n)
+          else (float_of_int k /. 200. *. float_of_int n) -. 0.5
+        in
+        if
+          Int64.bits_of_float (Numerics.Spline.eval_walk s cur x)
+          <> Int64.bits_of_float (Numerics.Spline.eval s x)
+        then ok := false
+      done;
+      !ok)
 
 let spline_exact_on_lines =
   Tutil.qcheck ~count:50 "spline reproduces straight lines"
@@ -373,13 +459,17 @@ let () =
           conv_fft_matches_direct;
           conv_overlap_add_matches_direct;
           conv_auto_matches_direct;
+          conv_packed_matches_direct;
           tc "known value" `Quick conv_known_value;
           conv_commutative;
           tc "overlap-add blocks" `Quick conv_overlap_add_block_sizes;
+          tc "pow2 boundaries" `Quick conv_strategies_agree_at_pow2_boundaries;
+          tc "into prefixes" `Quick conv_into_reads_prefixes;
         ] );
       ( "spline",
         [
           spline_interpolates_knots;
+          spline_walk_matches_eval;
           spline_exact_on_lines;
           tc "smooth accuracy" `Quick spline_smooth_function_accuracy;
           tc "clamped" `Quick spline_clamped_outside;

@@ -48,6 +48,62 @@ let par_array_domain_count_irrelevant () =
 let default_domains_positive () =
   Alcotest.(check bool) "at least 1" true (Parallel.Pool.default_domains () >= 1)
 
+(* --- persistent pools --- *)
+
+let persistent_pool_reuse () =
+  let pool = Parallel.Pool.create ~domains:3 () in
+  Alcotest.(check int) "size" 3 (Parallel.Pool.size pool);
+  (* many consecutive jobs on the same pool: domains are parked and
+     rewoken, never respawned *)
+  for round = 1 to 50 do
+    let n = 20 + (round mod 7) in
+    let hit = Array.make n 0 in
+    Parallel.Pool.run ~pool ~chunks:n (fun c -> hit.(c) <- hit.(c) + 1);
+    Array.iteri
+      (fun i c ->
+        if c <> 1 then Alcotest.failf "round %d: chunk %d ran %d times" round i c)
+      hit
+  done;
+  Parallel.Pool.shutdown pool
+
+let persistent_pool_exception_then_reuse () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Alcotest.check_raises "failure" (Failure "boom") (fun () ->
+      Parallel.Pool.run ~pool ~chunks:8 (fun c -> if c = 5 then failwith "boom"));
+  (* the pool survives a failed job *)
+  let acc = Atomic.make 0 in
+  Parallel.Pool.run ~pool ~chunks:10 (fun c -> ignore (Atomic.fetch_and_add acc c));
+  Alcotest.(check int) "sum after failure" 45 (Atomic.get acc);
+  Parallel.Pool.shutdown pool
+
+let persistent_pool_shutdown_semantics () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  Parallel.Pool.run ~pool ~chunks:4 (fun _ -> ());
+  Parallel.Pool.shutdown pool;
+  (* idempotent *)
+  Parallel.Pool.shutdown pool;
+  Alcotest.check_raises "run after shutdown"
+    (Invalid_argument "Pool.run: pool has been shut down") (fun () ->
+      Parallel.Pool.run ~pool ~chunks:2 (fun _ -> ()))
+
+let persistent_pool_nested_runs_inline () =
+  let pool = Parallel.Pool.create ~domains:2 () in
+  let inner_total = Atomic.make 0 in
+  Parallel.Pool.run ~pool ~chunks:4 (fun _ ->
+      (* a nested run from inside a chunk must drain inline rather than
+         deadlock on the busy pool *)
+      Parallel.Pool.run ~pool ~chunks:3 (fun c ->
+          ignore (Atomic.fetch_and_add inner_total c)));
+  Alcotest.(check int) "nested chunks all ran" 12 (Atomic.get inner_total);
+  Parallel.Pool.shutdown pool
+
+let par_array_explicit_pool () =
+  let pool = Parallel.Pool.create ~domains:3 () in
+  let f i = (i * 31) mod 97 in
+  let got = Parallel.Par_array.init ~pool ~chunk_size:13 500 f in
+  Parallel.Pool.shutdown pool;
+  Alcotest.(check bool) "matches Array.init" true (got = Array.init 500 f)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "parallel"
@@ -61,11 +117,19 @@ let () =
           tc "negative" `Quick pool_rejects_negative;
           tc "default domains" `Quick default_domains_positive;
         ] );
+      ( "persistent",
+        [
+          tc "reuse across jobs" `Quick persistent_pool_reuse;
+          tc "survives exception" `Quick persistent_pool_exception_then_reuse;
+          tc "shutdown" `Quick persistent_pool_shutdown_semantics;
+          tc "nested runs inline" `Quick persistent_pool_nested_runs_inline;
+        ] );
       ( "par_array",
         [
           par_array_matches_sequential;
           tc "map" `Quick par_array_map;
           tc "empty" `Quick par_array_empty;
           tc "domain independence" `Quick par_array_domain_count_irrelevant;
+          tc "explicit pool" `Quick par_array_explicit_pool;
         ] );
     ]
