@@ -68,6 +68,16 @@ let progress_arg =
     value & flag
     & info [ "progress" ] ~doc:"Report per-sweep rate/ETA and phase GC stats to stderr.")
 
+let fault_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "fault-spec" ] ~docv:"SPEC"
+        ~doc:
+          "Arm deterministic fault-injection probes (testing aid; see DESIGN.md §9). \
+           $(docv) is 'point:action[@N][:k=v]...' clauses joined by ';', e.g. \
+           $(b,runner.eval:fail@1) or $(b,pool.chunk:delay:p=0.01:seed=7:ms=5).")
+
 let setup_logging verbosity =
   if verbosity > 0 then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -236,25 +246,41 @@ let run_bounds kind n procs ul seed =
   Printf.printf "  CDF bracket holds: %b\n"
     (Makespan.Bounds.enclose b (Empirical.to_dist ~points:128 mc))
 
-let run_campaign ctx =
+(* Returns the process exit code: 0 on full success, 2 when some case
+   failed permanently (results above exclude it), 130 when a stop was
+   requested (SIGINT/SIGTERM) — checkpoints and manifest are saved, so
+   rerunning resumes exactly. *)
+let run_campaign limit ctx =
   let dir = Option.value ctx.out ~default:"repro-campaign" in
-  let t = E.Campaign.run ?domains:ctx.domains ~scale:ctx.scale ~dir () in
-  print_string (E.Campaign.render t);
-  print_newline ();
-  let results =
-    (* reuse the §VII in-text computation over campaign rows *)
-    List.map
-      (fun (r : E.Campaign.case_result) ->
-        {
-          E.Runner.instance = E.Case.instantiate r.E.Campaign.case;
-          delta = 0.;
-          gamma = 1.;
-          sources = r.E.Campaign.sources;
-          rows = r.E.Campaign.rows;
-        })
-      t.E.Campaign.results
+  let cases =
+    Option.map
+      (fun k -> List.filteri (fun i _ -> i < k) (E.Case.paper_cases ()))
+      limit
   in
-  print_string (E.Intext.render_rel_prob (E.Intext.rel_prob_vs_std results))
+  match E.Campaign.run ?domains:ctx.domains ~scale:ctx.scale ~dir ?cases () with
+  | exception E.Campaign.Interrupted ->
+    prerr_endline
+      "campaign: stop requested; completed cases are checkpointed — rerun to resume";
+    130
+  | t ->
+    print_string (E.Campaign.render t);
+    print_newline ();
+    let results =
+      (* reuse the §VII in-text computation over campaign rows *)
+      List.map
+        (fun (r : E.Campaign.case_result) ->
+          {
+            E.Runner.instance = E.Case.instantiate r.E.Campaign.case;
+            delta = 0.;
+            gamma = 1.;
+            sources = r.E.Campaign.sources;
+            rows = r.E.Campaign.rows;
+          })
+        t.E.Campaign.results
+    in
+    if results <> [] then
+      print_string (E.Intext.render_rel_prob (E.Intext.rel_prob_vs_std results));
+    if t.E.Campaign.failures = [] then 0 else 2
 
 let run_all ctx =
   let sep () = print_string "\n======================================================\n\n" in
@@ -282,14 +308,15 @@ let run_all ctx =
 
 let ctx_term =
   Term.(
-    const (fun scale domains seed out verbose trace metrics progress ->
+    const (fun scale domains seed out verbose trace metrics progress fault ->
         setup_logging (List.length verbose);
         if trace <> None then Obs.Span.set_enabled true;
         if metrics <> None then Obs.Metrics.set_enabled true;
         if progress then Obs.Progress.set_enabled true;
+        Option.iter (fun spec -> Fault.configure ~spec) fault;
         { scale; domains; seed; out; trace; metrics })
     $ scale_arg $ domains_arg $ seed_arg $ out_arg $ verbose_arg $ trace_arg
-    $ metrics_arg $ progress_arg)
+    $ metrics_arg $ progress_arg $ fault_arg)
 
 (* Telemetry sinks flush once, after the command body: the trace file
    holds every span of the run, the metrics file the merged registry
@@ -317,6 +344,27 @@ let case_cmd name doc f =
   Cmd.v (Cmd.info name ~doc)
     Term.(const f $ case_arg $ n_arg $ procs_arg $ ul_arg $ seed_arg)
 
+let limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "limit" ] ~docv:"N"
+        ~doc:"Run only the first $(docv) paper cases (CI / smoke testing).")
+
+let campaign_cmd =
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:
+         "Checkpointed Fig. 6 sweep: per-case CSVs plus a campaign.json provenance \
+          manifest in --out (default repro-campaign/), crash-safe and resumable. Exits 2 \
+          if a case failed permanently, 130 on SIGINT/SIGTERM (resume by rerunning).")
+    Term.(
+      const (fun ctx limit ->
+          let code = run_campaign limit ctx in
+          finalize ctx;
+          if code <> 0 then Stdlib.exit code)
+      $ ctx_term $ limit_arg)
+
 let () =
   let cmds =
     [
@@ -336,10 +384,7 @@ let () =
       cmd "methods" "Classical/Dodin/Spelde accuracy against Monte Carlo." run_methods;
       cmd "ablation" "Extension: variable-UL correlation shift + RobustHEFT sweep."
         run_ablation;
-      cmd "campaign"
-        "Checkpointed Fig. 6 sweep: per-case CSVs in --out (default repro-campaign/), \
-         resumable."
-        run_campaign;
+      campaign_cmd;
       cmd "all" "Every figure and in-text result in sequence." run_all;
       case_cmd "gantt" "Gantt charts of all heuristics on a chosen workload." run_gantt;
       case_cmd "dot" "Export a workload DAG as Graphviz." run_dot;

@@ -3,18 +3,34 @@ let matrix ?(invert = true) ?(method_ = `Pearson) rows =
   let data = if invert then Metrics.Inversion.apply_all rows else rows in
   let k = Metrics.Robustness.n_metrics in
   let cols = Array.init k (fun j -> Array.map (fun row -> row.(j)) data) in
-  match method_ with
-  | `Pearson -> Stats.Correlation.pearson_matrix cols
-  | `Spearman ->
-    let m = Array.make_matrix k k 1. in
-    for i = 0 to k - 1 do
-      for j = i + 1 to k - 1 do
-        let r = Stats.Correlation.spearman cols.(i) cols.(j) in
-        m.(i).(j) <- r;
-        m.(j).(i) <- r
-      done
-    done;
-    m
+  (* A degenerate column — constant (e.g. all-equal slack on a 1-proc
+     smoke case), containing a nan, or from a single schedule — carries
+     no correlation signal. Its off-diagonal cells are explicitly nan
+     (the diagonal stays 1), so downstream {!mean_std} aggregation skips
+     them instead of a rounding-noise ±1 polluting a Fig. 6 cell. *)
+  let degenerate =
+    Array.map
+      (fun col ->
+        Array.length col < 2
+        || Array.for_all (fun v -> v = col.(0)) col
+        || Array.exists Float.is_nan col)
+      cols
+  in
+  let m = Array.make_matrix k k 1. in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      let r =
+        if degenerate.(i) || degenerate.(j) then Float.nan
+        else
+          match method_ with
+          | `Pearson -> Stats.Correlation.pearson cols.(i) cols.(j)
+          | `Spearman -> Stats.Correlation.spearman cols.(i) cols.(j)
+      in
+      m.(i).(j) <- r;
+      m.(j).(i) <- r
+    done
+  done;
+  m
 
 let of_result result = matrix (Runner.random_rows result)
 

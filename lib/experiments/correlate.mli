@@ -5,7 +5,11 @@
 val matrix :
   ?invert:bool -> ?method_:[ `Pearson | `Spearman ] -> float array array -> float array array
 (** [matrix rows] is the 8×8 correlation matrix over the (by default
-    inverted) metric columns. Zero-variance columns yield [nan] entries.
+    inverted) metric columns. Nan handling is explicit: a {e degenerate}
+    column — zero variance, fewer than two schedules, or containing a
+    nan — yields [nan] in every off-diagonal cell it touches (the
+    diagonal stays 1), so one constant metric can never contribute a
+    spurious ±1. {!mean_std} then skips those cells per entry.
     [`Spearman] (rank correlation) is the robustness check for the
     "slightly curved" point clouds the paper mentions; default
     [`Pearson], as in the paper. *)
@@ -16,5 +20,7 @@ val of_result : Runner.result -> float array array
 
 val mean_std : float array array list -> float array array * float array array
 (** Element-wise mean and (population) standard deviation across several
-    correlation matrices, ignoring [nan] entries per cell — the two
-    triangles of Fig. 6. *)
+    correlation matrices — the two triangles of Fig. 6. Nan entries are
+    skipped {e per cell}: a single degenerate case cannot blank a cell
+    that other cases populated; a cell that is nan in {e every} matrix
+    stays nan in both outputs. *)

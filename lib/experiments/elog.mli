@@ -6,6 +6,10 @@
 
 val src : Logs.src
 
+val warn : ('a, Format.formatter, unit, unit) format4 -> 'a
+(** [warn fmt …] logs at warning level on {!src} — recoverable anomalies
+    such as an invalidated checkpoint or a retried case failure. *)
+
 val info : ('a, Format.formatter, unit, unit) format4 -> 'a
 (** [info fmt …] logs at info level on {!src} (eagerly formatted; these
     messages are emitted a handful of times per sweep). *)

@@ -11,13 +11,47 @@ let series_csv ~headers ~rows =
     rows;
   Buffer.contents buf
 
+(* mkdir -p: creates missing parents and tolerates a concurrent creator
+   (two campaigns sharing a checkpoint dir must not crash on EEXIST). *)
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    match Unix.mkdir dir 0o755 with
+    | () -> ()
+    | exception Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* Atomic publication: the content lands under a process-unique temp
+   name, is fsynced, and only then renamed over [dir/name]. A crash at
+   any point leaves either the old file intact or the new one complete —
+   never a truncated CSV a resumed campaign could mistake for a valid
+   checkpoint. The "campaign.write" probe sits between the buffered
+   write and the fsync, i.e. exactly where a real crash would bite. *)
 let write_file ~dir ~name content =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  mkdir_p dir;
   let path = Filename.concat dir name in
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc content);
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  (try
+     let oc = Unix.out_channel_of_descr fd in
+     output_string oc content;
+     flush oc;
+     Fault.cut "campaign.write";
+     Unix.fsync fd;
+     close_out oc
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  (* durability of the rename itself; best-effort, not all systems
+     support fsync on a directory fd *)
+  (try
+     let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+     Fun.protect
+       ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+       (fun () -> Unix.fsync dfd)
+   with Unix.Unix_error _ | Sys_error _ -> ());
   path
 
 let fig1_csv (t : Fig1.t) =

@@ -5,9 +5,18 @@
 val series_csv : headers:string list -> rows:float list list -> string
 (** Generic numeric CSV with a header line. *)
 
+val mkdir_p : string -> unit
+(** Create a directory and any missing parents; an already-existing
+    directory (including one created concurrently) is not an error. *)
+
 val write_file : dir:string -> name:string -> string -> string
-(** [write_file ~dir ~name content] creates [dir] if needed, writes
-    [dir/name] and returns the path. *)
+(** [write_file ~dir ~name content] creates [dir] (and parents) if
+    needed, then {e atomically} publishes [dir/name]: the content is
+    written to a process-unique temp file, fsynced and renamed into
+    place, so a crash or kill at any instant leaves either the previous
+    file intact or the new one complete — never a truncation. Returns
+    the path. Carries the ["campaign.write"] {!Fault} probe between
+    write and fsync. *)
 
 val fig1_csv : Fig1.t -> string
 val fig2_csv : Fig2.t -> string

@@ -15,6 +15,9 @@ let heuristics =
     ("Hyb.BMCT", Sched.Bmct.schedule) ]
 
 let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?count case =
+  (* fault-injection boundary: a campaign must survive a case whose
+     evaluation raises (isolation + bounded retry live in Campaign) *)
+  Fault.cut "runner.eval";
   let instance = Case.instantiate case in
   let { Case.graph; platform; model; _ } = instance in
   let rng = Prng.Xoshiro.create (Int64.add case.Case.seed 0x5EEDL) in

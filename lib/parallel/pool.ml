@@ -46,6 +46,10 @@ let drain job slot =
     let c = Atomic.fetch_and_add job.next 1 in
     if c < job.chunks then begin
       (try
+         (* fault-injection boundary: an injected chunk failure takes the
+            same first-failure path as a real one — remaining chunks
+            drain, workers re-park, the caller gets the exception *)
+         Fault.cut "pool.chunk";
          if job.instrumented then begin
            let t0 = Unix.gettimeofday () in
            Obs.Span.with_ ~name:"pool.chunk" (fun () -> job.f c);

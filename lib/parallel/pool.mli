@@ -55,4 +55,9 @@ val run : ?domains:int -> ?pool:t -> chunks:int -> (int -> unit) -> unit
     ["pool.chunk"] span and the run feeds the [pool.chunks],
     [pool.busy_us] and [pool.runs] counters plus the [pool.imbalance]
     gauge (max worker busy time over the mean across active workers).
-    With sinks disabled the only cost is one atomic load per run. *)
+    With sinks disabled the only cost is one atomic load per run.
+
+    Each chunk also carries the ["pool.chunk"] [Fault] probe: an
+    injected exception is indistinguishable from a chunk raising — the
+    first failure is re-raised in the caller after all workers drain,
+    and a persistent pool's parked domains are unaffected. *)

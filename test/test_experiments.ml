@@ -142,8 +142,67 @@ let mean_std_of_matrices () =
 let mean_std_skips_nan () =
   let a = [| [| 1.; Float.nan |]; [| Float.nan; 1. |] |] in
   let b = [| [| 1.; 0.8 |]; [| 0.8; 1. |] |] in
-  let mean, _ = Experiments.Correlate.mean_std [ a; b ] in
-  check_close "nan skipped" 0.8 mean.(0).(1)
+  let mean, std = Experiments.Correlate.mean_std [ a; b ] in
+  check_close "nan skipped" 0.8 mean.(0).(1);
+  (* a cell populated by a single matrix has a well-defined (zero) std *)
+  check_close "single-sample std" 0. std.(0).(1)
+
+let mean_std_all_nan_cell_stays_nan () =
+  let a = [| [| 1.; Float.nan |]; [| Float.nan; 1. |] |] in
+  let b = [| [| 1.; Float.nan |]; [| Float.nan; 1. |] |] in
+  let mean, std = Experiments.Correlate.mean_std [ a; b ] in
+  Alcotest.(check bool) "mean stays nan" true (Float.is_nan mean.(0).(1));
+  Alcotest.(check bool) "std stays nan" true (Float.is_nan std.(0).(1));
+  check_close "diag mean" 1. mean.(0).(0)
+
+(* a constant metric column (e.g. all-equal slack on a 1-proc smoke
+   case) must yield explicit nan cells, not a rounding-noise ±1 *)
+let matrix_degenerate_column () =
+  let k = Metrics.Robustness.n_metrics in
+  let rng = Prng.Xoshiro.create 7L in
+  let rows =
+    Array.init 40 (fun _ ->
+        Array.init k (fun j ->
+            if j = 3 then 42. (* constant column *)
+            else Prng.Xoshiro.next_float rng))
+  in
+  let m = Experiments.Correlate.matrix ~invert:false rows in
+  for j = 0 to k - 1 do
+    if j <> 3 then begin
+      Alcotest.(check bool) (Printf.sprintf "cell (3,%d) nan" j) true
+        (Float.is_nan m.(3).(j));
+      Alcotest.(check bool) (Printf.sprintf "cell (%d,3) nan" j) true
+        (Float.is_nan m.(j).(3))
+    end
+  done;
+  check_close "degenerate diagonal still 1" 1. m.(3).(3);
+  Alcotest.(check bool) "non-degenerate cells finite" true
+    (not (Float.is_nan m.(0).(1)))
+
+let matrix_single_schedule_is_nan_not_crash () =
+  let k = Metrics.Robustness.n_metrics in
+  let rows = [| Array.init k float_of_int |] in
+  let m = Experiments.Correlate.matrix ~invert:false rows in
+  Alcotest.(check bool) "off-diagonal nan" true (Float.is_nan m.(0).(1));
+  check_close "diag" 1. m.(0).(0)
+
+(* end-to-end: one degenerate case must not blank cells that a healthy
+   case populated — the Fig. 6 aggregation failure mode *)
+let mean_std_degenerate_case_does_not_blank () =
+  let k = Metrics.Robustness.n_metrics in
+  let rng = Prng.Xoshiro.create 11L in
+  let healthy =
+    Experiments.Correlate.matrix ~invert:false
+      (Array.init 40 (fun _ -> Array.init k (fun _ -> Prng.Xoshiro.next_float rng)))
+  in
+  let degenerate =
+    Experiments.Correlate.matrix ~invert:false
+      (Array.init 40 (fun i ->
+           Array.init k (fun j -> if j = 0 then 1. else float_of_int (i + j))))
+  in
+  Alcotest.(check bool) "degenerate cell is nan" true (Float.is_nan degenerate.(0).(1));
+  let mean, _ = Experiments.Correlate.mean_std [ healthy; degenerate ] in
+  check_close "cell survives from healthy case" healthy.(0).(1) mean.(0).(1)
 
 (* --- Figures (minimal scale smoke) --- *)
 
@@ -353,6 +412,10 @@ let () =
           tc "cluster" `Quick correlate_cluster_holds;
           tc "mean/std" `Quick mean_std_of_matrices;
           tc "nan skipped" `Quick mean_std_skips_nan;
+          tc "all-nan cell" `Quick mean_std_all_nan_cell_stays_nan;
+          tc "degenerate column" `Quick matrix_degenerate_column;
+          tc "single schedule" `Quick matrix_single_schedule_is_nan_not_crash;
+          tc "degenerate case in mean" `Quick mean_std_degenerate_case_does_not_blank;
         ] );
       ( "figures",
         [
