@@ -246,6 +246,235 @@ let run_bounds kind n procs ul seed =
   Printf.printf "  CDF bracket holds: %b\n"
     (Makespan.Bounds.enclose b (Empirical.to_dist ~points:128 mc))
 
+(* --- evaluation service commands --- *)
+
+let host_arg =
+  Arg.(
+    value
+    & opt string "127.0.0.1"
+    & info [ "host" ] ~docv:"ADDR" ~doc:"Service bind/connect address.")
+
+let port_arg default =
+  Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc:"Service TCP port.")
+
+let parse_sched_token tok =
+  match String.split_on_char ':' tok with
+  | [ name ] when List.mem_assoc name Service.Proto.heuristics ->
+    Ok (Service.Proto.Heuristic name)
+  | "random" :: count :: rest -> (
+    match (int_of_string_opt count, rest) with
+    | Some count, [] -> Ok (Service.Proto.Random { count; seed = 0L })
+    | Some count, [ s ] -> (
+      match Int64.of_string_opt s with
+      | Some seed -> Ok (Service.Proto.Random { count; seed })
+      | None -> Error (`Msg (Printf.sprintf "bad random seed in %S" tok)))
+    | _ -> Error (`Msg (Printf.sprintf "bad random spec %S (random:COUNT[:SEED])" tok)))
+  | _ ->
+    Error
+      (`Msg
+        (Printf.sprintf "unknown schedule %S (%s or random:COUNT[:SEED])" tok
+           (String.concat "|" (List.map fst Service.Proto.heuristics))))
+
+let schedules_arg =
+  let parse s =
+    List.fold_right
+      (fun tok acc ->
+        Result.bind acc (fun specs ->
+            Result.map (fun spec -> spec :: specs) (parse_sched_token (String.trim tok))))
+      (String.split_on_char ',' s)
+      (Ok [])
+  in
+  let print fmt specs =
+    Format.pp_print_string fmt
+      (String.concat ","
+         (List.map
+            (function
+              | Service.Proto.Heuristic h -> h
+              | Service.Proto.Random { count; seed } ->
+                Printf.sprintf "random:%d:%Ld" count seed)
+            specs))
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) [ Service.Proto.Heuristic "HEFT" ]
+    & info [ "schedules" ] ~docv:"SPECS"
+        ~doc:
+          "Comma-separated schedule sources: heuristic names (HEFT, BIL, Hyb.BMCT, \
+           CPOP, DLS) and/or $(b,random:COUNT[:SEED]) batches.")
+
+let backend_arg =
+  Arg.(
+    value
+    & opt string "classical"
+    & info [ "backend" ] ~docv:"NAME"
+        ~doc:"Evaluation backend: classical, dodin, spelde or mc (Monte Carlo).")
+
+let slack_arg =
+  let parse = function
+    | "disjunctive" -> Ok `Disjunctive
+    | "precedence" -> Ok `Precedence
+    | other -> Error (`Msg (Printf.sprintf "unknown slack mode %S" other))
+  in
+  let print fmt m =
+    Format.pp_print_string fmt
+      (match m with `Disjunctive -> "disjunctive" | `Precedence -> "precedence")
+  in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Disjunctive
+    & info [ "slack" ] ~docv:"MODE" ~doc:"Slack graph mode: disjunctive or precedence.")
+
+let eval_job workload n procs ul seed backend mc_count mc_seed schedules slack delta
+    gamma =
+  match Makespan.Engine.backend_of_name ~mc_count ~mc_seed backend with
+  | None ->
+    prerr_endline ("repro eval: unknown backend " ^ backend);
+    Stdlib.exit 2
+  | Some backend ->
+    {
+      Service.Proto.workload =
+        Service.Proto.Named { kind = workload; n; procs; seed = Int64.add 1L seed };
+      ul;
+      backend;
+      schedules;
+      slack_mode = slack;
+      delta;
+      gamma;
+      deadline_ms = None;
+    }
+
+let run_eval job emit =
+  if emit then print_string (Service.Proto.job_to_json job ^ "\n")
+  else
+    match Service.Proto.eval job with
+    | Ok body -> print_string body
+    | Error e ->
+      prerr_endline ("repro eval: " ^ e);
+      Stdlib.exit 1
+
+let eval_cmd =
+  let emit_arg =
+    Arg.(
+      value & flag
+      & info [ "emit-request" ]
+          ~doc:
+            "Print the JSON job body for this evaluation instead of running it \
+             (pipe to $(b,curl -d @- http://host:port/eval)).")
+  in
+  let delta_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "delta" ] ~docv:"D" ~doc:"A(δ) bound override (calibrated if absent).")
+  in
+  let gamma_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gamma" ] ~docv:"G" ~doc:"R(γ) bound override (calibrated if absent).")
+  in
+  let mc_count_arg =
+    Arg.(
+      value & opt int 10_000
+      & info [ "mc-count" ] ~docv:"N" ~doc:"Monte Carlo runs for --backend mc.")
+  in
+  let mc_seed_arg =
+    Arg.(
+      value & opt int64 0L
+      & info [ "mc-seed" ] ~docv:"S" ~doc:"Monte Carlo seed for --backend mc.")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:
+         "Evaluate schedules of one case and print the service-format result \
+          document (the byte-identical offline twin of POST /eval).")
+    Term.(
+      const (fun workload n procs ul seed backend mc_count mc_seed schedules slack
+                 delta gamma emit ->
+          run_eval
+            (eval_job workload n procs ul seed backend mc_count mc_seed schedules
+               slack delta gamma)
+            emit)
+      $ case_arg $ n_arg $ procs_arg $ ul_arg $ seed_arg $ backend_arg $ mc_count_arg
+      $ mc_seed_arg $ schedules_arg $ slack_arg $ delta_arg $ gamma_arg $ emit_arg)
+
+let serve_cmd =
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N" ~doc:"Job-queue capacity (503 beyond it).")
+  in
+  let conns_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "conns" ] ~docv:"N" ~doc:"Connection-handler domains.")
+  in
+  let grace_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "grace" ] ~docv:"SEC"
+          ~doc:"Drain grace: max seconds for queued jobs to finish on shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the evaluation daemon: POST /eval (sync), POST /jobs + GET /jobs/:id \
+          (async), GET /healthz, GET /metrics. Same-case jobs are batched onto \
+          shared engines. SIGINT/SIGTERM drains gracefully.")
+    Term.(
+      const (fun host port queue conns grace ->
+          Service.Server.serve_forever
+            {
+              Service.Server.default_config with
+              host;
+              port;
+              queue_capacity = queue;
+              conn_domains = conns;
+              drain_grace_s = grace;
+            })
+      $ host_arg $ port_arg 8123 $ queue_arg $ conns_arg $ grace_arg)
+
+let loadgen_cmd =
+  let concurrency_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "concurrency" ] ~docv:"N" ~doc:"Concurrent client connections.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests" ] ~docv:"N" ~doc:"Total synchronous /eval requests.")
+  in
+  let bench_out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Report file (JSON).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator against a running $(b,repro serve): reports \
+          throughput, client latency quantiles and the server's own counters.")
+    Term.(
+      const (fun host port concurrency requests out ->
+          let report =
+            Service.Loadgen.run
+              {
+                Service.Loadgen.host;
+                port;
+                concurrency;
+                requests;
+                job = Service.Loadgen.default_job ();
+              }
+          in
+          print_string report;
+          let oc = open_out out in
+          output_string oc report;
+          close_out oc;
+          Printf.eprintf "[wrote %s]\n%!" out)
+      $ host_arg $ port_arg 8123 $ concurrency_arg $ requests_arg $ bench_out_arg)
+
 (* Returns the process exit code: 0 on full success, 2 when some case
    failed permanently (results above exclude it), 130 when a stop was
    requested (SIGINT/SIGTERM) — checkpoints and manifest are saved, so
@@ -390,10 +619,13 @@ let () =
       case_cmd "dot" "Export a workload DAG as Graphviz." run_dot;
       case_cmd "bounds" "Kleindorfer-style bracket vs Monte Carlo on a random schedule."
         run_bounds;
+      eval_cmd;
+      serve_cmd;
+      loadgen_cmd;
     ]
   in
   let info =
-    Cmd.info "repro" ~version:"1.0.0"
+    Cmd.info "repro" ~version:Service.Build_info.version
       ~doc:
         "Reproduction of Canon & Jeannot, 'A Comparison of Robustness Metrics for \
          Scheduling DAGs on Heterogeneous Systems' (HeteroPar/CLUSTER 2007)."

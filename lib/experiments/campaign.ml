@@ -21,12 +21,19 @@ type t = {
 
 exception Interrupted
 
-(* Cooperative stop: signal handlers may only set a flag (they run
-   between allocations, anywhere), so the campaign loop polls it at case
-   boundaries — the in-flight case always finishes its checkpoint and
-   manifest update before [Interrupted] is raised. *)
-let stop_flag = Atomic.make false
-let request_stop () = Atomic.set stop_flag true
+(* Cooperative stop: handlers may only set flags (they run between
+   allocations, anywhere), so the campaign loop polls at case boundaries
+   — the in-flight case always finishes its checkpoint and manifest
+   update before [Interrupted] is raised. Signal routing lives in the
+   shared {!Stop} scopes so a campaign composes with other consumers of
+   SIGINT/SIGTERM (nested campaigns, the evaluation service's drain
+   handler) instead of clobbering their handlers; [pending] additionally
+   lets tests request a stop before [run] has opened its scope. *)
+let pending = Atomic.make false
+
+let request_stop () =
+  Atomic.set pending true;
+  Stop.request ()
 
 let parse_source s =
   if String.length s > 7 && String.sub s 0 7 = "random-" then
@@ -146,13 +153,12 @@ let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
   let progress = Obs.Progress.create ~total:(List.length cases) "campaign" in
   let results = ref [] and failures = ref [] in
   let n_cases = List.length cases in
-  let prev_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> request_stop ())) in
-  let prev_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> request_stop ())) in
-  Fun.protect
-    ~finally:(fun () ->
-      Sys.set_signal Sys.sigint prev_int;
-      Sys.set_signal Sys.sigterm prev_term)
-    (fun () ->
+  Stop.with_scope (fun scope ->
+      let stop_requested () = Atomic.get pending || Stop.requested scope in
+      let consume_stop () =
+        Atomic.set pending false;
+        Stop.clear scope
+      in
       Obs.Progress.phase "campaign" (fun () ->
           List.iteri
             (fun idx case ->
@@ -227,8 +233,8 @@ let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
                   failures := { failed_case = case; attempts = k; error = msg }
                               :: !failures));
               Obs.Progress.tick progress;
-              if Atomic.get stop_flag && idx < n_cases - 1 then begin
-                Atomic.set stop_flag false;
+              if stop_requested () && idx < n_cases - 1 then begin
+                consume_stop ();
                 save_manifest ();
                 Elog.warn
                   "campaign: stop requested; %d/%d cases done, manifest saved — rerun to \
@@ -237,7 +243,7 @@ let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
                 raise Interrupted
               end)
             cases);
-      Atomic.set stop_flag false);
+      consume_stop ());
   Obs.Progress.finish progress;
   save_manifest ();
   let results = List.rev !results and failures = List.rev !failures in

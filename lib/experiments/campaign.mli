@@ -54,9 +54,10 @@ exception Interrupted
     {!run} — asked the campaign to wind down with cases still pending. *)
 
 val request_stop : unit -> unit
-(** Ask the running campaign to stop at the next case boundary. This is
-    what the signal handlers installed by {!run} call; tests call it
-    directly to exercise the shutdown path deterministically. *)
+(** Ask the (current or next) campaign to stop at the next case
+    boundary: sets every active {!Stop} scope plus a pending flag that
+    the next {!run} picks up, so tests can request the stop before the
+    campaign starts and exercise the shutdown path deterministically. *)
 
 val load_rows : string -> (Runner.source * float array) array
 (** Parse a stored per-schedule CSV back into (source, metric-vector)
@@ -83,9 +84,12 @@ val run :
     [?pool]/[?domains] select sweep workers as in {!Runner.run}; by
     default every case shares one persistent pool.
 
-    While running, SIGINT and SIGTERM are rerouted to {!request_stop}
-    (previous handlers are restored on exit). May raise {!Interrupted};
-    everything completed up to that point is on disk. *)
+    While running, the campaign holds a {!Stop} scope, so SIGINT and
+    SIGTERM request a cooperative stop without displacing any other
+    active scope (an enclosing campaign, the service's drain handler);
+    outside of every scope the previous signal behaviour is restored.
+    May raise {!Interrupted}; everything completed up to that point is
+    on disk. *)
 
 val render : t -> string
 (** The Fig. 6 matrix over successful cases, plus a failure report when

@@ -28,21 +28,7 @@ let find t id = List.find_opt (fun e -> e.id = id) t.entries
 (* Writer                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let add_escaped buf s =
-  Buffer.add_char buf '"';
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.add_char buf '"'
+let add_escaped = Json.escape_into
 
 let to_json t =
   let buf = Buffer.create 1024 in
@@ -76,173 +62,50 @@ let to_json t =
 let save ~dir t = ignore (Export.write_file ~dir ~name:file_name (to_json t))
 
 (* ------------------------------------------------------------------ *)
-(* Minimal JSON parser (the subset the writer emits)                   *)
+(* Reader: {!Json} (the shared bounded parser) plus schema checks.     *)
+(* Any shape mismatch is a [None] — callers treat that as "no          *)
+(* provenance: recompute".                                             *)
 (* ------------------------------------------------------------------ *)
 
-type json =
-  | Jobj of (string * json) list
-  | Jarr of json list
-  | Jstr of string
-  | Jnum of string (* raw literal, converted at the use site *)
-  | Jbool of bool
-  | Jnull
+let ( let* ) = Option.bind
 
-exception Parse_error
+let str_field k j = Option.bind (Json.mem k j) Json.str
+let int_field k j = Option.bind (Json.mem k j) Json.to_int
 
-let parse_json s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos < n then s.[!pos] else raise Parse_error in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    if !pos < n then
-      match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws () | _ -> ()
+let entry_of_json ej =
+  let* id = str_field "id" ej in
+  let* seed = Option.bind (Json.mem "seed" ej) Json.to_int64 in
+  let* schedules = int_field "schedules" ej in
+  let* status =
+    match str_field "status" ej with
+    | Some "done" ->
+      let* rows = int_field "rows" ej in
+      let* attempts = int_field "attempts" ej in
+      Some (Done { rows; attempts })
+    | Some "failed" ->
+      let* attempts = int_field "attempts" ej in
+      let* error = str_field "error" ej in
+      Some (Failed { attempts; error })
+    | _ -> None
   in
-  let expect c = if peek () <> c then raise Parse_error else advance () in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance ()
-      | '\\' ->
-        advance ();
-        (match peek () with
-        | '"' -> Buffer.add_char buf '"'; advance ()
-        | '\\' -> Buffer.add_char buf '\\'; advance ()
-        | '/' -> Buffer.add_char buf '/'; advance ()
-        | 'n' -> Buffer.add_char buf '\n'; advance ()
-        | 'r' -> Buffer.add_char buf '\r'; advance ()
-        | 't' -> Buffer.add_char buf '\t'; advance ()
-        | 'b' -> Buffer.add_char buf '\b'; advance ()
-        | 'f' -> Buffer.add_char buf '\012'; advance ()
-        | 'u' ->
-          advance ();
-          if !pos + 4 > n then raise Parse_error;
-          let hex = String.sub s !pos 4 in
-          let code =
-            match int_of_string_opt ("0x" ^ hex) with
-            | Some c -> c
-            | None -> raise Parse_error
-          in
-          pos := !pos + 4;
-          (* escapes we emit are all < 0x80; decode the rest as '?' *)
-          Buffer.add_char buf (if code < 0x80 then Char.chr code else '?')
-        | _ -> raise Parse_error);
-        go ()
-      | c -> Buffer.add_char buf c; advance (); go ()
-    in
-    go ();
-    Buffer.contents buf
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then begin advance (); Jobj [] end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let k = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); members ((k, v) :: acc)
-          | '}' -> advance (); Jobj (List.rev ((k, v) :: acc))
-          | _ -> raise Parse_error
-        in
-        members []
-      end
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then begin advance (); Jarr [] end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); elements (v :: acc)
-          | ']' -> advance (); Jarr (List.rev (v :: acc))
-          | _ -> raise Parse_error
-        in
-        elements []
-      end
-    | '"' -> Jstr (parse_string ())
-    | 't' ->
-      if !pos + 4 <= n && String.sub s !pos 4 = "true" then begin
-        pos := !pos + 4;
-        Jbool true
-      end
-      else raise Parse_error
-    | 'f' ->
-      if !pos + 5 <= n && String.sub s !pos 5 = "false" then begin
-        pos := !pos + 5;
-        Jbool false
-      end
-      else raise Parse_error
-    | 'n' ->
-      if !pos + 4 <= n && String.sub s !pos 4 = "null" then begin
-        pos := !pos + 4;
-        Jnull
-      end
-      else raise Parse_error
-    | '-' | '0' .. '9' ->
-      let start = !pos in
-      let num_char c =
-        match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
-      in
-      while !pos < n && num_char s.[!pos] do
-        advance ()
-      done;
-      if !pos = start then raise Parse_error;
-      Jnum (String.sub s start (!pos - start))
-    | _ -> raise Parse_error
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then raise Parse_error;
-  v
-
-let mem k = function Jobj fields -> List.assoc_opt k fields | _ -> None
-
-let str_field k j = match mem k j with Some (Jstr s) -> s | _ -> raise Parse_error
-
-let int_field k j =
-  match mem k j with
-  | Some (Jnum raw) -> (
-    match int_of_string_opt raw with Some i -> i | None -> raise Parse_error)
-  | _ -> raise Parse_error
+  Some { id; seed; schedules; status }
 
 let of_json j =
-  if int_field "version" j <> version then raise Parse_error;
-  let entry_of_json ej =
-    let id = str_field "id" ej in
-    let seed =
-      match Int64.of_string_opt (str_field "seed" ej) with
-      | Some s -> s
-      | None -> raise Parse_error
+  let* v = int_field "version" j in
+  if v <> version then None
+  else
+    let* cases = Option.bind (Json.mem "cases" j) Json.list_ in
+    let* entries =
+      List.fold_right
+        (fun ej acc ->
+          let* acc = acc in
+          let* e = entry_of_json ej in
+          Some (e :: acc))
+        cases (Some [])
     in
-    let schedules = int_field "schedules" ej in
-    let status =
-      match str_field "status" ej with
-      | "done" -> Done { rows = int_field "rows" ej; attempts = int_field "attempts" ej }
-      | "failed" ->
-        Failed { attempts = int_field "attempts" ej; error = str_field "error" ej }
-      | _ -> raise Parse_error
-    in
-    { id; seed; schedules; status }
-  in
-  let entries =
-    match mem "cases" j with
-    | Some (Jarr l) -> List.map entry_of_json l
-    | _ -> raise Parse_error
-  in
-  { scale = str_field "scale" j; slack_mode = str_field "slack_mode" j; entries }
+    let* scale = str_field "scale" j in
+    let* slack_mode = str_field "slack_mode" j in
+    Some { scale; slack_mode; entries }
 
 let load ~dir =
   let path = Filename.concat dir file_name in
@@ -254,6 +117,9 @@ let load ~dir =
         ~finally:(fun () -> close_in ic)
         (fun () -> really_input_string ic (in_channel_length ic))
     in
-    match of_json (parse_json (read ())) with
-    | m -> Some m
-    | exception (Parse_error | Sys_error _ | End_of_file) -> None
+    match read () with
+    | exception (Sys_error _ | End_of_file) -> None
+    | content -> (
+      match Json.parse content with
+      | Error _ -> None
+      | Ok j -> of_json j)

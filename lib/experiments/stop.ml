@@ -1,0 +1,56 @@
+type scope = bool Atomic.t
+
+(* The active scopes live in an immutable list behind an Atomic, so the
+   signal handler can walk it without taking a lock (a handler runs at a
+   safe point of whatever domain receives the signal; blocking on a
+   mutex held by that same domain would deadlock). Install/restore of
+   the real handlers is serialized by [install_lock], which the handler
+   itself never touches. *)
+let scopes : scope list Atomic.t = Atomic.make []
+
+let request () = List.iter (fun f -> Atomic.set f true) (Atomic.get scopes)
+
+let install_lock = Mutex.create ()
+
+(* previous behaviours, saved while our handler is installed *)
+let saved : (Sys.signal_behavior * Sys.signal_behavior) option ref = ref None
+
+let handler = Sys.Signal_handle (fun _ -> request ())
+
+let rec push f =
+  let old = Atomic.get scopes in
+  if not (Atomic.compare_and_set scopes old (f :: old)) then push f
+
+let rec remove f =
+  let old = Atomic.get scopes in
+  let next = List.filter (fun g -> g != f) old in
+  if not (Atomic.compare_and_set scopes old next) then remove f
+
+let enter () =
+  let f = Atomic.make false in
+  Mutex.lock install_lock;
+  push f;
+  if !saved = None then
+    saved :=
+      Some (Sys.signal Sys.sigint handler, Sys.signal Sys.sigterm handler);
+  Mutex.unlock install_lock;
+  f
+
+let exit_ f =
+  Mutex.lock install_lock;
+  remove f;
+  (match (Atomic.get scopes, !saved) with
+  | [], Some (prev_int, prev_term) ->
+    Sys.set_signal Sys.sigint prev_int;
+    Sys.set_signal Sys.sigterm prev_term;
+    saved := None
+  | _ -> ());
+  Mutex.unlock install_lock
+
+let with_scope f =
+  let scope = enter () in
+  Fun.protect ~finally:(fun () -> exit_ scope) (fun () -> f scope)
+
+let requested f = Atomic.get f
+let clear f = Atomic.set f false
+let active () = List.length (Atomic.get scopes)

@@ -1,0 +1,44 @@
+(** Composable cooperative-stop scopes over SIGINT/SIGTERM.
+
+    The PR-4 campaign installed its own [Sys.signal] handlers and
+    restored the saved previous ones on exit. That clobbers any outer
+    consumer of the same signals: when the evaluation service (which
+    uses SIGTERM for graceful drain) runs a campaign job, the campaign's
+    handler would swallow the drain request for the whole duration of
+    the sweep — and nested campaigns had the same problem among
+    themselves.
+
+    This module owns the process's SIGINT/SIGTERM handler instead and
+    fans a signal out to {e every} active scope: each consumer enters
+    its own scope, polls only its own flag, and exits the scope when
+    done. The real handler is installed when the first scope enters and
+    the previously installed behaviour is restored when the last one
+    exits, so code outside any scope keeps the default signal
+    semantics.
+
+    Handlers only set atomic flags (they run between allocations,
+    anywhere, on any domain), so consumers must poll {!requested} at
+    their own safe boundaries — case boundaries for campaigns, request
+    boundaries for the service. *)
+
+type scope
+
+val with_scope : (scope -> 'a) -> 'a
+(** [with_scope f] runs [f] with a fresh active scope; the scope is
+    deactivated when [f] returns or raises. Scopes nest freely and may
+    be entered from any domain. *)
+
+val requested : scope -> bool
+(** True once a SIGINT/SIGTERM arrived (or {!request} was called) while
+    the scope was active. Stays true until {!clear}. *)
+
+val clear : scope -> unit
+(** Re-arm the scope (a consumer that finished a cooperative shutdown
+    and wants to keep running, e.g. serve → drain → serve cycles). *)
+
+val request : unit -> unit
+(** Programmatic stop: sets the flag of every active scope, exactly as
+    a signal would. Safe from any domain. *)
+
+val active : unit -> int
+(** Number of currently active scopes (diagnostics / tests). *)

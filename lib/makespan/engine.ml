@@ -36,6 +36,14 @@ let backend_name = function
   | Spelde -> "spelde"
   | Montecarlo _ -> "montecarlo"
 
+let backend_of_name ?(mc_count = 10_000) ?(mc_seed = 0L) name =
+  match String.lowercase_ascii name with
+  | "classical" -> Some Classical
+  | "dodin" -> Some Dodin
+  | "spelde" -> Some Spelde
+  | "montecarlo" | "mc" -> Some (Montecarlo { count = mc_count; seed = mc_seed })
+  | _ -> None
+
 type stats = {
   task_hits : int;
   task_misses : int;  (** filled (task, proc) duration cells *)

@@ -34,6 +34,12 @@ val backend_of_method : Eval.method_ -> backend
 
 val backend_name : backend -> string
 
+val backend_of_name : ?mc_count:int -> ?mc_seed:int64 -> string -> backend option
+(** Inverse of {!backend_name} for wire protocols and CLIs
+    (case-insensitive; ["mc"] is accepted for ["montecarlo"], whose
+    count/seed come from the optional arguments — defaults 10 000 and
+    0). [None] on an unknown name. *)
+
 type t
 
 val create :

@@ -228,6 +228,33 @@ let snapshot () =
 
 let find_counter snapshot name = List.assoc_opt name snapshot.counters
 
+(* Quantile estimate from the fixed buckets: locate the bucket holding
+   the target rank and interpolate linearly inside it. Coarse by
+   construction (bucket resolution), but monotone and allocation-free —
+   what a live /metrics endpoint needs, not a full reservoir. *)
+let hist_quantile h q =
+  let n_bounds = Array.length h.bounds in
+  if h.total = 0 || n_bounds = 0 then Float.nan
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let target = q *. float_of_int h.total in
+    let rec go i cum =
+      if i >= Array.length h.counts then h.bounds.(n_bounds - 1)
+      else
+        let c = h.counts.(i) in
+        let cum' = cum + c in
+        if c > 0 && float_of_int cum' >= target then begin
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          (* the overflow bucket has no upper bound: pin it at the last *)
+          let hi = h.bounds.(Int.min i (n_bounds - 1)) in
+          let frac = (target -. float_of_int cum) /. float_of_int c in
+          lo +. ((hi -. lo) *. Float.min 1. (Float.max 0. frac))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 let reset () =
   Mutex.protect registry_lock (fun () ->
       Mutex.protect shards_lock (fun () ->

@@ -62,6 +62,13 @@ val snapshot : unit -> snapshot
 
 val find_counter : snapshot -> string -> int option
 
+val hist_quantile : hist_value -> float -> float
+(** [hist_quantile h q] estimates the [q]-quantile ([q ∈ \[0,1\]]) from
+    the bucket counts by linear interpolation inside the bucket holding
+    the target rank — resolution is limited by the bucket bounds (the
+    overflow bucket is pinned at the last bound). [nan] on an empty
+    histogram. This is what live p50/p99 endpoints serve. *)
+
 val reset : unit -> unit
 (** Zero every shard and gauge. Only meaningful while no other domain is
     writing (between phases/benchmark runs). *)

@@ -211,21 +211,40 @@ let run_on t ~chunks f =
 
 (* Process-wide shared pool, created on first demand and torn down at
    exit. Callers that pass neither [?pool] nor [?domains] land here, so
-   campaigns reuse one warm set of domains across every case. *)
+   campaigns reuse one warm set of domains across every case.
+
+   The cell may be refreshed: shutting the shared pool down (a server
+   drain, a test) and asking for it again respawns a fresh pool, so
+   serve → drain → serve cycles in one process keep working. The
+   [at_exit] hook is registered exactly once and tears down whichever
+   pool is current at exit — never a pool per respawn. *)
 let shared_cell : t option Atomic.t = Atomic.make None
 let shared_init = Mutex.create ()
+let shared_at_exit_registered = ref false
+
+let stopped t =
+  Mutex.lock t.mutex;
+  let s = t.stop in
+  Mutex.unlock t.mutex;
+  s
 
 let shared () =
   match Atomic.get shared_cell with
-  | Some t -> t
-  | None ->
+  | Some t when not (stopped t) -> t
+  | _ ->
     Mutex.lock shared_init;
     let t =
       match Atomic.get shared_cell with
-      | Some t -> t
-      | None ->
+      | Some t when not (stopped t) -> t
+      | _ ->
         let t = create () in
-        at_exit (fun () -> shutdown t);
+        if not !shared_at_exit_registered then begin
+          shared_at_exit_registered := true;
+          at_exit (fun () ->
+              match Atomic.get shared_cell with
+              | Some t -> shutdown t
+              | None -> ())
+        end;
         Atomic.set shared_cell (Some t);
         t
     in

@@ -36,8 +36,13 @@ val shutdown : t -> unit
     Idempotent. Must not be called from inside a pool job. *)
 
 val shared : unit -> t
-(** The process-wide pool, created on first use and shut down via
-    [at_exit]. *)
+(** The process-wide pool, created on first use and shut down via a
+    single [at_exit] hook (registered exactly once, however many times
+    the pool is respawned). If the current shared pool has been
+    {!shutdown} — e.g. across a service's serve → drain → serve cycle —
+    the next call transparently spawns a replacement, so holders of
+    [shared ()] results should re-fetch rather than cache across a
+    shutdown. *)
 
 val run : ?domains:int -> ?pool:t -> chunks:int -> (int -> unit) -> unit
 (** [run ~chunks f] calls [f c] exactly once for every

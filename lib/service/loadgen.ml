@@ -1,0 +1,119 @@
+module Json = Experiments.Json
+
+type config = {
+  host : string;
+  port : int;
+  concurrency : int;
+  requests : int;
+  job : Proto.job;
+}
+
+let default_job () =
+  {
+    Proto.workload =
+      Proto.Named { kind = Experiments.Case.Cholesky; n = 10; procs = 3; seed = 1L };
+    ul = 1.1;
+    backend = Makespan.Engine.Classical;
+    schedules = [ Proto.Heuristic "HEFT"; Proto.Random { count = 20; seed = 7L } ];
+    slack_mode = `Disjunctive;
+    delta = None;
+    gamma = None;
+    deadline_ms = None;
+  }
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else begin
+    let rank = p *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Int.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+type worker_result = {
+  latencies : float list;
+  errors : int;
+}
+
+let worker config n_requests =
+  let client = Client.connect ~host:config.host ~port:config.port () in
+  let body = config.job in
+  let rec go i acc errors =
+    if i >= n_requests then { latencies = acc; errors }
+    else begin
+      let t0 = Unix.gettimeofday () in
+      match Client.eval client body with
+      | Ok _ -> go (i + 1) (Unix.gettimeofday () -. t0 :: acc) errors
+      | Error _ -> go (i + 1) acc (errors + 1)
+    end
+  in
+  let r = go 0 [] 0 in
+  Client.close client;
+  r
+
+let num f = if Float.is_finite f then Json.Num (Json.float_lit f) else Json.Null
+let int_ i = Json.Num (string_of_int i)
+
+let run config =
+  let concurrency = Int.max 1 config.concurrency in
+  let total = Int.max 1 config.requests in
+  let share d =
+    (* split [total] across domains, first domains take the remainder *)
+    (total / concurrency) + if d < total mod concurrency then 1 else 0
+  in
+  let t0 = Unix.gettimeofday () in
+  let domains =
+    List.init concurrency (fun d -> Domain.spawn (fun () -> worker config (share d)))
+  in
+  let results = List.map Domain.join domains in
+  let wall = Unix.gettimeofday () -. t0 in
+  let latencies =
+    List.concat_map (fun r -> r.latencies) results |> Array.of_list
+  in
+  Array.sort compare latencies;
+  let errors = List.fold_left (fun acc r -> acc + r.errors) 0 results in
+  let completed = Array.length latencies in
+  let mean =
+    if completed = 0 then nan
+    else Array.fold_left ( +. ) 0. latencies /. float_of_int completed
+  in
+  (* one scrape of the server's own counters for the report *)
+  let service =
+    let client = Client.connect ~host:config.host ~port:config.port () in
+    let section =
+      match Client.get client "/metrics" with
+      | Ok resp when resp.Http.status = 200 -> (
+        match Result.to_option (Json.parse resp.Http.body) with
+        | Some doc -> Json.mem "service" doc
+        | None -> None)
+      | _ -> None
+    in
+    Client.close client;
+    Option.value section ~default:Json.Null
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "serve");
+        ("version", Json.Str Build_info.version);
+        ("concurrency", int_ concurrency);
+        ("requests", int_ total);
+        ("completed", int_ completed);
+        ("errors", int_ errors);
+        ("wall_s", num wall);
+        ("throughput_rps", num (float_of_int completed /. wall));
+        ( "latency_s",
+          Json.Obj
+            [
+              ("mean", num mean);
+              ("p50", num (percentile latencies 0.50));
+              ("p90", num (percentile latencies 0.90));
+              ("p99", num (percentile latencies 0.99));
+              ("max", num (percentile latencies 1.0));
+            ] );
+        ("service", service);
+      ]
+  in
+  Json.to_string doc ^ "\n"

@@ -1,0 +1,25 @@
+(** Closed-loop load generator for the evaluation service — the
+    [repro loadgen] engine behind [BENCH_serve.json].
+
+    Spawns [concurrency] client domains, each with its own keep-alive
+    {!Client} connection, firing synchronous [POST /eval] requests
+    until [requests] have completed; then scrapes [GET /metrics] once
+    and renders a single JSON report (throughput, client-side latency
+    quantiles, error count, the server's own service counters). *)
+
+type config = {
+  host : string;
+  port : int;
+  concurrency : int;  (** client domains (each a keep-alive connection) *)
+  requests : int;  (** total sync requests across all domains *)
+  job : Proto.job;  (** request template, sent verbatim *)
+}
+
+val default_job : unit -> Proto.job
+(** A small named case (Cholesky n=10, 3 procs, UL 1.1, classical
+    backend, HEFT + 20 seeded random schedules): heavy enough to
+    exercise the engine, light enough for CI. *)
+
+val run : config -> string
+(** Execute the load and return the report document (newline-
+    terminated JSON, ready to write to [BENCH_serve.json]). *)

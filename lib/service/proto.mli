@@ -1,0 +1,82 @@
+(** Wire protocol of the evaluation service: JSON job specifications in,
+    metric rows + makespan-distribution summaries out.
+
+    A {e job} names an evaluation case — workload (named generator or
+    inline DAG + platform), uncertainty level, evaluation backend — plus
+    the schedules to evaluate (heuristics by name, seeded random
+    batches). Jobs are decoded by the shared bounded {!Experiments.Json}
+    parser, so adversarial bodies produce typed errors, never
+    exceptions.
+
+    Everything here is deterministic: the same job spec yields the same
+    response bytes whether it runs through [repro eval], a sync HTTP
+    request, or inside a server batch (batching shares engine {e caches}
+    only — δ/γ calibration uses each job's own pilot schedules). That
+    determinism is what the CI smoke test asserts byte-for-byte. *)
+
+type workload =
+  | Named of {
+      kind : Experiments.Case.graph_kind;
+      n : int;  (** target task count *)
+      procs : int;
+      seed : int64;
+    }
+  | Inline of {
+      graph : Dag.Graph.t;
+      platform : Platform.t;
+    }
+
+type sched_spec =
+  | Heuristic of string  (** HEFT | BIL | Hyb.BMCT | CPOP | DLS *)
+  | Random of { count : int; seed : int64 }
+
+type job = {
+  workload : workload;
+  ul : float;
+  backend : Makespan.Engine.backend;
+  schedules : sched_spec list;
+  slack_mode : Sched.Slack.graph_mode;
+  delta : float option;  (** A(δ) bound override; calibrated if absent *)
+  gamma : float option;
+  deadline_ms : int option;  (** queue-admission deadline, server-side *)
+}
+
+val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
+(** The five heuristics reachable over the wire. *)
+
+val job_of_json : string -> (job, string) result
+(** Decode and validate one job body. Bounded: body size is capped by
+    the HTTP layer, schedule counts and workload sizes here. The error
+    string is safe to echo back in a 400/422 response. *)
+
+val job_to_json : job -> string
+(** Inverse of {!job_of_json} (used by the client, [repro loadgen] and
+    [repro eval --emit-request]); round-trips. *)
+
+type context = {
+  key : string;  (** batching key: (graph × platform × UL) identity *)
+  graph : Dag.Graph.t;
+  platform : Platform.t;
+  model : Workloads.Stochastify.t;
+}
+
+val context_of_job : job -> (context, string) result
+(** Materialize the case. Jobs with equal [key] are guaranteed to
+    describe the identical (graph, platform, uncertainty model) triple,
+    so one {!Makespan.Engine} may serve them all — named workloads key
+    on the case id, inline ones on a digest of their canonical JSON. *)
+
+val run_job : engine:Makespan.Engine.t -> job -> string
+(** Evaluate every schedule of the job on an engine built over the
+    job's context and render the response body (one JSON document,
+    newline-terminated). The engine must come from this job's [key];
+    sharing it across same-key jobs only warms its caches. Random
+    schedules are generated from the spec seed, δ/γ are calibrated on
+    the job's own first schedules (capped at 20) exactly as
+    {!Experiments.Runner} does, and evaluation fans out over
+    {!Parallel.Pool.shared}. *)
+
+val eval : job -> (string, string) result
+(** One-shot local evaluation: context + fresh engine + {!run_job}.
+    This is the [repro eval] path the CI smoke test compares the served
+    bytes against. *)

@@ -1,0 +1,669 @@
+module Json = Experiments.Json
+module Stop = Experiments.Stop
+module Engine = Makespan.Engine
+
+type config = {
+  host : string;
+  port : int;
+  queue_capacity : int;
+  conn_domains : int;
+  limits : Http.limits;
+  engine_cache : int;
+  auto_worker : bool;
+  drain_grace_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 0;
+    queue_capacity = 64;
+    conn_domains = 4;
+    limits = Http.default_limits;
+    engine_cache = 8;
+    auto_worker = true;
+    drain_grace_s = 5.0;
+  }
+
+type jstate =
+  | Queued
+  | Running
+  | Done of string
+  | Failed of string
+  | Expired
+  | Cancelled
+
+type jrec = {
+  id : string;
+  spec : Proto.job;
+  key : string;
+  context : Proto.context;
+  state : jstate Atomic.t;
+  deadline : float option;  (* absolute Unix time; queue-admission only *)
+}
+
+(* Always-on counters — plain atomics, independent of Obs gating. *)
+type counters = {
+  c_requests : int Atomic.t;
+  c_submitted : int Atomic.t;
+  c_done : int Atomic.t;
+  c_failed : int Atomic.t;
+  c_expired : int Atomic.t;
+  c_cancelled : int Atomic.t;
+  c_rejected_full : int Atomic.t;
+  c_rejected_invalid : int Atomic.t;
+  c_batches : int Atomic.t;
+  c_max_batch : int Atomic.t;
+  c_engines_created : int Atomic.t;
+}
+
+type stats = {
+  requests : int;
+  jobs_submitted : int;
+  jobs_done : int;
+  jobs_failed : int;
+  jobs_expired : int;
+  jobs_cancelled : int;
+  rejected_full : int;
+  rejected_invalid : int;
+  batches : int;
+  max_batch : int;
+  engines_created : int;
+  engine_task_hits : int;
+  engine_task_misses : int;
+  queue_depth : int;
+}
+
+type t = {
+  config : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  draining : bool Atomic.t;
+  (* accepted connections awaiting a handler *)
+  cmu : Mutex.t;
+  ccond : Condition.t;
+  conns : Unix.file_descr Queue.t;
+  (* bounded job queue + id table *)
+  jmu : Mutex.t;
+  jcond : Condition.t;
+  jobs : jrec Queue.t;
+  table : (string, jrec) Hashtbl.t;
+  finished : string Queue.t;  (* terminal-state ids, oldest first *)
+  next_id : int Atomic.t;
+  (* engine LRU, MRU first *)
+  emu : Mutex.t;
+  mutable engines : (string * Engine.t) list;
+  c : counters;
+  mutable domains : unit Domain.t list;
+  stopped : bool Atomic.t;
+  (* Obs instruments (live only when Obs.Metrics is enabled) *)
+  h_latency : Obs.Metrics.histogram;
+  h_batch : Obs.Metrics.histogram;
+  g_queue : Obs.Metrics.gauge;
+}
+
+let max_finished_kept = 1024
+let idle_poll_s = 0.25
+
+let counters () =
+  {
+    c_requests = Atomic.make 0;
+    c_submitted = Atomic.make 0;
+    c_done = Atomic.make 0;
+    c_failed = Atomic.make 0;
+    c_expired = Atomic.make 0;
+    c_cancelled = Atomic.make 0;
+    c_rejected_full = Atomic.make 0;
+    c_rejected_invalid = Atomic.make 0;
+    c_batches = Atomic.make 0;
+    c_max_batch = Atomic.make 0;
+    c_engines_created = Atomic.make 0;
+  }
+
+let atomic_max a v =
+  let rec go () =
+    let cur = Atomic.get a in
+    if v > cur && not (Atomic.compare_and_set a cur v) then go ()
+  in
+  go ()
+
+let port t = t.bound_port
+
+(* ------------------------------------------------------------------ *)
+(* Job lifecycle                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Record a job's terminal transition; evict the oldest finished jobs
+   so the table stays bounded. Callers already performed the CAS. *)
+let finished t j =
+  Mutex.lock t.jmu;
+  Queue.push j.id t.finished;
+  while Queue.length t.finished > max_finished_kept do
+    Hashtbl.remove t.table (Queue.pop t.finished)
+  done;
+  Mutex.unlock t.jmu
+
+let expire_if_due t j =
+  match j.deadline with
+  | Some d
+    when Unix.gettimeofday () > d && Atomic.compare_and_set j.state Queued Expired ->
+    Atomic.incr t.c.c_expired;
+    finished t j;
+    true
+  | _ -> ( match Atomic.get j.state with Expired -> true | _ -> false)
+
+type submit_error =
+  [ `Invalid of int * string  (* HTTP status + message *)
+  | `Full
+  | `Draining ]
+
+let submit t body : (jrec, submit_error) result =
+  match Proto.job_of_json body with
+  | Error e ->
+    Atomic.incr t.c.c_rejected_invalid;
+    Error (`Invalid (400, e))
+  | Ok spec -> (
+    match Proto.context_of_job spec with
+    | Error e ->
+      Atomic.incr t.c.c_rejected_invalid;
+      Error (`Invalid (422, e))
+    | Ok context ->
+      let deadline =
+        Option.map
+          (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+          spec.Proto.deadline_ms
+      in
+      let id = Printf.sprintf "job-%06d" (Atomic.fetch_and_add t.next_id 1) in
+      let j =
+        {
+          id;
+          spec;
+          key = context.Proto.key;
+          context;
+          state = Atomic.make Queued;
+          deadline;
+        }
+      in
+      Mutex.lock t.jmu;
+      let verdict =
+        if Atomic.get t.draining then Error `Draining
+        else if Queue.length t.jobs >= t.config.queue_capacity then Error `Full
+        else begin
+          Queue.push j t.jobs;
+          Hashtbl.replace t.table id j;
+          Ok j
+        end
+      in
+      let depth = Queue.length t.jobs in
+      (match verdict with Ok _ -> Condition.signal t.jcond | Error _ -> ());
+      Mutex.unlock t.jmu;
+      (match verdict with
+      | Ok _ ->
+        Atomic.incr t.c.c_submitted;
+        Obs.Metrics.set t.g_queue (float_of_int depth)
+      | Error `Full -> Atomic.incr t.c.c_rejected_full
+      | Error _ -> ());
+      verdict)
+
+(* Pop the oldest job plus every queued job sharing its key, preserving
+   the order of what stays behind. Caller holds [jmu]. *)
+let pop_batch_locked t =
+  if Queue.is_empty t.jobs then []
+  else begin
+    let first = Queue.pop t.jobs in
+    let rest = List.of_seq (Queue.to_seq t.jobs) in
+    Queue.clear t.jobs;
+    let same, other = List.partition (fun j -> String.equal j.key first.key) rest in
+    List.iter (fun j -> Queue.push j t.jobs) other;
+    first :: same
+  end
+
+let engine_for t key context =
+  Mutex.lock t.emu;
+  let e =
+    match List.assoc_opt key t.engines with
+    | Some e ->
+      t.engines <- (key, e) :: List.remove_assoc key t.engines;
+      e
+    | None ->
+      let e =
+        Engine.create ~graph:context.Proto.graph ~platform:context.Proto.platform
+          ~model:context.Proto.model
+      in
+      Atomic.incr t.c.c_engines_created;
+      let keep = List.filteri (fun i _ -> i < t.config.engine_cache - 1) t.engines in
+      t.engines <- (key, e) :: keep;
+      e
+  in
+  Mutex.unlock t.emu;
+  e
+
+let run_batch t batch =
+  match batch with
+  | [] -> 0
+  | first :: _ ->
+    Atomic.incr t.c.c_batches;
+    atomic_max t.c.c_max_batch (List.length batch);
+    Obs.Metrics.observe t.h_batch (float_of_int (List.length batch));
+    let engine = engine_for t first.key first.context in
+    List.iter
+      (fun j ->
+        if not (expire_if_due t j) then
+          if Atomic.compare_and_set j.state Queued Running then begin
+            let t0 = Unix.gettimeofday () in
+            (match Proto.run_job ~engine j.spec with
+            | body ->
+              Atomic.set j.state (Done body);
+              Atomic.incr t.c.c_done
+            | exception exn ->
+              Atomic.set j.state (Failed (Printexc.to_string exn));
+              Atomic.incr t.c.c_failed);
+            Obs.Metrics.observe t.h_latency (Unix.gettimeofday () -. t0);
+            finished t j
+          end)
+      batch;
+    List.length batch
+
+let step t =
+  Mutex.lock t.jmu;
+  let batch = pop_batch_locked t in
+  let depth = Queue.length t.jobs in
+  Mutex.unlock t.jmu;
+  Obs.Metrics.set t.g_queue (float_of_int depth);
+  run_batch t batch
+
+(* Worker: drain batches until draining AND empty (graceful drain runs
+   the queue down before the grace timer cancels leftovers). *)
+let worker_loop t =
+  let rec next () =
+    Mutex.lock t.jmu;
+    let rec wait () =
+      if not (Queue.is_empty t.jobs) then pop_batch_locked t
+      else if Atomic.get t.draining then []
+      else begin
+        Condition.wait t.jcond t.jmu;
+        wait ()
+      end
+    in
+    let batch = wait () in
+    let depth = Queue.length t.jobs in
+    Mutex.unlock t.jmu;
+    match batch with
+    | [] -> ()
+    | batch ->
+      Obs.Metrics.set t.g_queue (float_of_int depth);
+      ignore (run_batch t batch);
+      next ()
+  in
+  next ()
+
+(* ------------------------------------------------------------------ *)
+(* Stats / introspection documents                                     *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  let task_hits, task_misses =
+    Mutex.lock t.emu;
+    let totals =
+      List.fold_left
+        (fun (h, m) (_, e) ->
+          let s = Engine.stats e in
+          (h + s.Engine.task_hits, m + s.Engine.task_misses))
+        (0, 0) t.engines
+    in
+    Mutex.unlock t.emu;
+    totals
+  in
+  Mutex.lock t.jmu;
+  let depth = Queue.length t.jobs in
+  Mutex.unlock t.jmu;
+  {
+    requests = Atomic.get t.c.c_requests;
+    jobs_submitted = Atomic.get t.c.c_submitted;
+    jobs_done = Atomic.get t.c.c_done;
+    jobs_failed = Atomic.get t.c.c_failed;
+    jobs_expired = Atomic.get t.c.c_expired;
+    jobs_cancelled = Atomic.get t.c.c_cancelled;
+    rejected_full = Atomic.get t.c.c_rejected_full;
+    rejected_invalid = Atomic.get t.c.c_rejected_invalid;
+    batches = Atomic.get t.c.c_batches;
+    max_batch = Atomic.get t.c.c_max_batch;
+    engines_created = Atomic.get t.c.c_engines_created;
+    engine_task_hits = task_hits;
+    engine_task_misses = task_misses;
+    queue_depth = depth;
+  }
+
+let num_of_int i = Json.Num (string_of_int i)
+
+let healthz_body t =
+  let s = stats t in
+  Json.to_string
+    (Json.Obj
+       [
+         ("status", Json.Str (if Atomic.get t.draining then "draining" else "ok"));
+         ("version", Json.Str Build_info.version);
+         ("queue_depth", num_of_int s.queue_depth);
+         ("queue_capacity", num_of_int t.config.queue_capacity);
+         ("jobs_done", num_of_int s.jobs_done);
+       ])
+  ^ "\n"
+
+let metrics_body t =
+  let s = stats t in
+  let q p =
+    let snap = Obs.Metrics.snapshot () in
+    match List.assoc_opt "service.request_seconds" snap.Obs.Metrics.histograms with
+    | Some h when h.Obs.Metrics.total > 0 ->
+      Json.Num (Json.float_lit (Obs.Metrics.hist_quantile h p))
+    | _ -> Json.Null
+  in
+  let service =
+    Json.Obj
+      [
+        ("requests", num_of_int s.requests);
+        ("jobs_submitted", num_of_int s.jobs_submitted);
+        ("jobs_done", num_of_int s.jobs_done);
+        ("jobs_failed", num_of_int s.jobs_failed);
+        ("jobs_expired", num_of_int s.jobs_expired);
+        ("jobs_cancelled", num_of_int s.jobs_cancelled);
+        ("rejected_full", num_of_int s.rejected_full);
+        ("rejected_invalid", num_of_int s.rejected_invalid);
+        ("batches", num_of_int s.batches);
+        ("max_batch", num_of_int s.max_batch);
+        ("queue_depth", num_of_int s.queue_depth);
+        ("engines_created", num_of_int s.engines_created);
+        ("engine_task_hits", num_of_int s.engine_task_hits);
+        ("engine_task_misses", num_of_int s.engine_task_misses);
+        ("latency_p50_s", q 0.5);
+        ("latency_p99_s", q 0.99);
+      ]
+  in
+  (* The Obs report is already a JSON document — splice it verbatim. *)
+  Printf.sprintf "{\"service\":%s,\"obs\":%s}\n" (Json.to_string service)
+    (String.trim (Obs.Report.json ()))
+
+(* ------------------------------------------------------------------ *)
+(* HTTP plumbing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let error_body msg = Json.to_string (Json.Obj [ ("error", Json.Str msg) ]) ^ "\n"
+
+let job_status_name = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Done _ -> "done"
+  | Failed _ -> "failed"
+  | Expired -> "expired"
+  | Cancelled -> "cancelled"
+
+let job_envelope j =
+  let state = Atomic.get j.state in
+  let base = [ ("id", Json.Str j.id); ("status", Json.Str (job_status_name state)) ] in
+  let extra =
+    match state with
+    | Failed e -> [ ("error", Json.Str e) ]
+    | _ -> []
+  in
+  Json.to_string (Json.Obj (base @ extra)) ^ "\n"
+
+(* Wait for a sync job to reach a terminal state. OCaml's [Condition]
+   has no timed wait, so poll the state atomic; 2 ms keeps sync latency
+   negligible next to an evaluation. *)
+let wait_terminal t j =
+  let rec go () =
+    match Atomic.get j.state with
+    | Done body -> `Done body
+    | Failed e -> `Failed e
+    | Expired -> `Expired
+    | Cancelled -> `Cancelled
+    | Queued | Running ->
+      if expire_if_due t j then `Expired
+      else begin
+        Unix.sleepf 0.002;
+        go ()
+      end
+  in
+  go ()
+
+let lookup_job t id =
+  Mutex.lock t.jmu;
+  let j = Hashtbl.find_opt t.table id in
+  Mutex.unlock t.jmu;
+  j
+
+type reply = { status : int; headers : (string * string) list; body : string }
+
+let reply ?(headers = []) status body = { status; headers; body }
+
+let submit_error_reply = function
+  | `Invalid (status, msg) -> reply status (error_body msg)
+  | `Full -> reply ~headers:[ ("retry-after", "1") ] 503 (error_body "queue full")
+  | `Draining -> reply ~headers:[ ("retry-after", "5") ] 503 (error_body "draining")
+
+let handle t (req : Http.request) =
+  Atomic.incr t.c.c_requests;
+  match (req.Http.meth, req.Http.path) with
+  | "GET", "/healthz" -> reply 200 (healthz_body t)
+  | "GET", "/metrics" -> reply 200 (metrics_body t)
+  | "POST", "/eval" -> (
+    match submit t req.Http.body with
+    | Error e -> submit_error_reply e
+    | Ok j -> (
+      match wait_terminal t j with
+      | `Done body -> reply 200 body
+      | `Failed e -> reply 500 (error_body e)
+      | `Expired -> reply 504 (error_body "deadline expired while queued")
+      | `Cancelled -> reply 503 (error_body "cancelled by drain")))
+  | "POST", "/jobs" -> (
+    match submit t req.Http.body with
+    | Error e -> submit_error_reply e
+    | Ok j -> reply 202 (job_envelope j))
+  | "GET", path when String.length path > 6 && String.sub path 0 6 = "/jobs/" -> (
+    let rest = String.sub path 6 (String.length path - 6) in
+    let id, want_result =
+      match String.index_opt rest '/' with
+      | Some i when String.sub rest i (String.length rest - i) = "/result" ->
+        (String.sub rest 0 i, true)
+      | _ -> (rest, false)
+    in
+    match lookup_job t id with
+    | None -> reply 404 (error_body "unknown job")
+    | Some j when not want_result -> reply 200 (job_envelope j)
+    | Some j -> (
+      (* /result serves the bare stored document so clients (and the CI
+         smoke test) can compare it byte-for-byte with [repro eval]. *)
+      match Atomic.get j.state with
+      | Done body -> reply 200 body
+      | Failed e -> reply 500 (error_body e)
+      | Expired -> reply 504 (error_body "deadline expired while queued")
+      | Cancelled -> reply 503 (error_body "cancelled by drain")
+      | Queued | Running -> reply 202 (job_envelope j)))
+  | _, ("/healthz" | "/metrics" | "/eval" | "/jobs") ->
+    reply 405 (error_body "method not allowed")
+  | _ -> reply 404 (error_body "not found")
+
+let serve_conn t fd =
+  let r = Http.reader fd in
+  let rec loop () =
+    match Http.read_request ~limits:t.config.limits r with
+    | Ok req ->
+      let { status; headers; body } = handle t req in
+      let keep = Http.keep_alive req && not (Atomic.get t.draining) in
+      let headers = if keep then headers else ("connection", "close") :: headers in
+      (match Http.write_response ~headers fd ~status body with
+      | () -> if keep then loop ()
+      | exception Unix.Unix_error _ -> ())
+    | Error `Timeout when Http.buffered r = 0 ->
+      (* idle keep-alive connection: poll again unless draining *)
+      if not (Atomic.get t.draining) then loop ()
+    | Error `Timeout -> ( try Http.write_response fd ~status:408 (error_body "request timeout") with Unix.Unix_error _ -> ())
+    | Error `Closed -> ()
+    | Error `Header_too_large ->
+      (try Http.write_response fd ~status:431 (error_body "header too large")
+       with Unix.Unix_error _ -> ())
+    | Error `Body_too_large ->
+      (try Http.write_response fd ~status:413 (error_body "body too large")
+       with Unix.Unix_error _ -> ())
+    | Error (`Bad_request msg) -> (
+      try Http.write_response fd ~status:400 (error_body msg)
+      with Unix.Unix_error _ -> ())
+  in
+  (try loop () with exn ->
+    (* a handler bug must not kill the domain; answer 500 best-effort *)
+    (try Http.write_response fd ~status:500 (error_body (Printexc.to_string exn))
+     with _ -> ()));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let conn_worker t =
+  let rec next () =
+    Mutex.lock t.cmu;
+    let rec wait () =
+      if not (Queue.is_empty t.conns) then Some (Queue.pop t.conns)
+      else if Atomic.get t.draining then None
+      else begin
+        Condition.wait t.ccond t.cmu;
+        wait ()
+      end
+    in
+    let fd = wait () in
+    Mutex.unlock t.cmu;
+    match fd with
+    | None -> ()
+    | Some fd ->
+      serve_conn t fd;
+      next ()
+  in
+  next ()
+
+let acceptor t =
+  let rec loop () =
+    if not (Atomic.get t.draining) then begin
+      (match Unix.select [ t.lsock ] [] [] idle_poll_s with
+      | [ _ ], _, _ -> (
+        match Unix.accept t.lsock with
+        | fd, _ ->
+          Unix.setsockopt_float fd Unix.SO_RCVTIMEO idle_poll_s;
+          Mutex.lock t.cmu;
+          Queue.push fd t.conns;
+          Condition.signal t.ccond;
+          Mutex.unlock t.cmu
+        | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> ())
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let start config =
+  (* A peer closing mid-response must surface as EPIPE, not kill us. *)
+  (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
+  Obs.Metrics.set_enabled true;
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+     Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+     Unix.listen lsock 64
+   with e ->
+     (try Unix.close lsock with _ -> ());
+     raise e);
+  let bound_port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> config.port
+  in
+  let t =
+    {
+      config;
+      lsock;
+      bound_port;
+      draining = Atomic.make false;
+      cmu = Mutex.create ();
+      ccond = Condition.create ();
+      conns = Queue.create ();
+      jmu = Mutex.create ();
+      jcond = Condition.create ();
+      jobs = Queue.create ();
+      table = Hashtbl.create 64;
+      finished = Queue.create ();
+      next_id = Atomic.make 0;
+      emu = Mutex.create ();
+      engines = [];
+      c = counters ();
+      domains = [];
+      stopped = Atomic.make false;
+      h_latency = Obs.Metrics.histogram "service.request_seconds";
+      h_batch =
+        Obs.Metrics.histogram
+          ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
+          "service.batch_size";
+      g_queue = Obs.Metrics.gauge "service.queue_depth";
+    }
+  in
+  (* Warm the shared pool before going multi-domain (it is lazily
+     created and registers its at_exit teardown exactly once). *)
+  ignore (Parallel.Pool.shared ());
+  let spawned = ref [ Domain.spawn (fun () -> acceptor t) ] in
+  for _ = 1 to config.conn_domains do
+    spawned := Domain.spawn (fun () -> conn_worker t) :: !spawned
+  done;
+  if config.auto_worker then
+    spawned := Domain.spawn (fun () -> worker_loop t) :: !spawned;
+  t.domains <- !spawned;
+  t
+
+let stop t =
+  if Atomic.compare_and_set t.stopped false true then begin
+    (* Give queued jobs [drain_grace_s] to finish before draining flips
+       handlers off — sync waiters still poll their job atomics. *)
+    let deadline = Unix.gettimeofday () +. t.config.drain_grace_s in
+    let rec wait_empty () =
+      Mutex.lock t.jmu;
+      let empty = Queue.is_empty t.jobs in
+      Mutex.unlock t.jmu;
+      if (not empty) && Unix.gettimeofday () < deadline then begin
+        Unix.sleepf 0.01;
+        wait_empty ()
+      end
+    in
+    if t.config.auto_worker then wait_empty ();
+    Atomic.set t.draining true;
+    (* Cancel whatever is still queued. *)
+    Mutex.lock t.jmu;
+    Queue.iter
+      (fun j ->
+        if Atomic.compare_and_set j.state Queued Cancelled then begin
+          Atomic.incr t.c.c_cancelled;
+          Queue.push j.id t.finished
+        end)
+      t.jobs;
+    Queue.clear t.jobs;
+    Condition.broadcast t.jcond;
+    Mutex.unlock t.jmu;
+    Mutex.lock t.cmu;
+    Condition.broadcast t.ccond;
+    Mutex.unlock t.cmu;
+    List.iter Domain.join t.domains;
+    t.domains <- [];
+    (* Connections still queued but never picked up: close them. *)
+    Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.conns;
+    Queue.clear t.conns;
+    (try Unix.close t.lsock with Unix.Unix_error _ -> ())
+  end
+
+let serve_forever config =
+  Stop.with_scope (fun scope ->
+      let t = start config in
+      Printf.printf "serving on %s:%d (version %s)\n%!" config.host (port t)
+        Build_info.version;
+      while not (Stop.requested scope) do
+        Unix.sleepf 0.1
+      done;
+      Printf.printf "draining...\n%!";
+      stop t;
+      Printf.printf "stopped.\n%!")

@@ -1,0 +1,94 @@
+(** The evaluation daemon: accepts JSON jobs over HTTP, batches
+    same-case jobs onto shared {!Makespan.Engine} contexts, and serves
+    live metrics.
+
+    {2 Architecture}
+
+    One {e acceptor} domain owns the listening socket and feeds accepted
+    connections to [conn_domains] handler domains over a
+    mutex/condition queue. Handlers parse requests with the bounded
+    {!Http} reader and either answer immediately ([/healthz],
+    [/metrics], job status) or submit a job to the {e bounded} job
+    queue. A single {e worker} domain drains that queue in batches: it
+    pops the oldest job plus every queued job sharing its
+    (graph × platform × UL) key, obtains the one {!Makespan.Engine} for
+    that key from an LRU cache, and evaluates the batch on it — the
+    schedule sweep itself fans out over {!Parallel.Pool.shared}.
+    Batching shares engine caches only; response bytes are identical to
+    a solo run (see {!Proto}).
+
+    {2 Admission control}
+
+    - queue full → [503] with [Retry-After] (the job is never admitted);
+    - [deadline_ms] elapsed while still queued → the job expires
+      ([504] for sync waiters, ["expired"] in async status);
+    - drain ({!stop} or SIGTERM via {!serve_forever}): new submissions
+      get [503], queued jobs are given [drain_grace_s] to finish, then
+      cancelled. *)
+
+type config = {
+  host : string;  (** bind address, default ["127.0.0.1"] *)
+  port : int;  (** 0 picks an ephemeral port — read it back with {!port} *)
+  queue_capacity : int;  (** job-queue bound; beyond it submissions get 503 *)
+  conn_domains : int;  (** connection-handler domains *)
+  limits : Http.limits;
+  engine_cache : int;  (** max engines kept warm (LRU by case key) *)
+  auto_worker : bool;
+      (** spawn the evaluation worker domain. [false] is for tests:
+          jobs only run when {!step} is called, so batching is
+          observable deterministically. Sync [/eval] requests then
+          block until some other thread calls {!step}. *)
+  drain_grace_s : float;  (** drain: max wait for queued jobs to finish *)
+}
+
+val default_config : config
+(** localhost, ephemeral port, capacity 64, 4 handler domains,
+    {!Http.default_limits}, 8 engines, auto worker, 5 s grace. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen and spawn the acceptor/handler/worker domains. Also
+    turns on {!Obs.Metrics} so [/metrics] has live histograms, and
+    ignores [SIGPIPE] (a dying client must not kill the daemon).
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val port : t -> int
+(** The bound port (useful with [config.port = 0]). *)
+
+val stop : t -> unit
+(** Graceful drain: stop accepting, let queued jobs finish (up to
+    [drain_grace_s]), cancel the rest, join every domain and close the
+    socket. Idempotent; the shared pool is left running (its [at_exit]
+    teardown owns it), so start/stop/start cycles in one process work. *)
+
+val step : t -> int
+(** Manually run one batch off the job queue (for [auto_worker = false]
+    tests); returns the number of jobs processed (0 if the queue was
+    empty). Must not be called while an auto worker is running. *)
+
+type stats = {
+  requests : int;  (** HTTP requests parsed (any route) *)
+  jobs_submitted : int;
+  jobs_done : int;
+  jobs_failed : int;
+  jobs_expired : int;
+  jobs_cancelled : int;  (** cancelled by drain *)
+  rejected_full : int;  (** 503s from a full queue *)
+  rejected_invalid : int;  (** 400/422s *)
+  batches : int;
+  max_batch : int;
+  engines_created : int;
+  engine_task_hits : int;  (** summed over live engines *)
+  engine_task_misses : int;
+  queue_depth : int;  (** current *)
+}
+
+val stats : t -> stats
+(** Always-on counters (plain atomics — independent of {!Obs} gating). *)
+
+val serve_forever : config -> unit
+(** {!start}, then block inside an {!Experiments.Stop} scope until
+    SIGINT/SIGTERM requests a stop, then drain via {!stop} and return —
+    the [repro serve] main loop. Composes with campaign runs: both use
+    the same process-wide signal scope stack. *)

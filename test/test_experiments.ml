@@ -389,10 +389,103 @@ let render_table_rejects_ragged () =
   Alcotest.check_raises "ragged" (Invalid_argument "Render.table: ragged row") (fun () ->
       ignore (Experiments.Render.table ~title:"" ~headers:[ "a" ] ~rows:[ [ "1"; "2" ] ]))
 
+(* --- Json (bounded parser / writer) --- *)
+
+module Json = Experiments.Json
+
+let json_value_gen =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        return Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        map (fun i -> Json.Num (string_of_int i)) int;
+        map (fun f -> Json.Num (Json.float_lit f)) (float_range (-1e9) 1e9);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let rec build depth =
+    if depth <= 0 then scalar
+    else
+      oneof
+        [
+          scalar;
+          map (fun l -> Json.Arr l) (list_size (int_range 0 4) (build (depth - 1)));
+          map
+            (fun kvs -> Json.Obj kvs)
+            (list_size (int_range 0 4)
+               (pair (string_size ~gen:printable (int_range 0 8)) (build (depth - 1))));
+        ]
+  in
+  build 3
+
+let json_parse_never_raises =
+  Tutil.qcheck ~count:500 "parse never raises"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 120))
+    (fun s -> match Json.parse s with Ok _ | Error _ -> true)
+
+let json_roundtrip =
+  Tutil.qcheck ~count:300 "write/parse roundtrip" json_value_gen (fun v ->
+      match Json.parse (Json.to_string v) with
+      | Ok back -> back = v
+      | Error e -> QCheck2.Test.fail_reportf "reparse failed: %s" (Json.error_to_string e))
+
+let json_bounds_enforced () =
+  let deep = String.make 200 '[' ^ String.make 200 ']' in
+  (match Json.parse ~max_depth:64 deep with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "depth bound ignored");
+  (match Json.parse ~max_bytes:8 "[1,2,3,4,5,6]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "byte bound ignored");
+  match Json.parse ~max_nodes:4 "[1,2,3,4,5,6,7,8]" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "node bound ignored"
+
+let json_trailing_garbage_rejected () =
+  (match Json.parse "{} trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse "{\"a\": 1e}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed number accepted"
+
+let manifest_fuzz_dir = Filename.concat (Filename.get_temp_dir_name ()) "repro-manifest-fuzz"
+
+let manifest_load_never_raises =
+  Tutil.qcheck ~count:120 "manifest load never raises"
+    (* JSON-shaped garbage: mutate plausible manifest fragments *)
+    QCheck2.Gen.(
+      let fragment =
+        oneofl
+          [
+            "{\"version\":1,\"scale\":\"tiny\",\"slack_mode\":\"disjunctive\",\"cases\":[";
+            "{\"id\":\"x\",\"seed\":\"1\",\"schedules\":30,\"status\":\"done\",\"rows\":3,\"attempts\":1}";
+            "]}"; "{"; "}"; "["; "]"; ","; ":"; "\"seed\""; "\"status\":\"done\"";
+            "null"; "1e309"; "\"\\u0000\""; "-"; "9999999999999999999999";
+          ]
+      in
+      map (String.concat "") (list_size (int_range 0 8) fragment))
+    (fun content ->
+      ignore
+        (Experiments.Export.write_file ~dir:manifest_fuzz_dir
+           ~name:Experiments.Manifest.file_name content);
+      match Experiments.Manifest.load ~dir:manifest_fuzz_dir with
+      | Some _ | None -> true)
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "experiments"
     [
+      ( "json",
+        [
+          json_parse_never_raises;
+          json_roundtrip;
+          tc "bounds" `Quick json_bounds_enforced;
+          tc "trailing garbage" `Quick json_trailing_garbage_rejected;
+          manifest_load_never_raises;
+        ] );
       ("scale", [ tc "presets" `Quick scale_presets; tc "env" `Quick scale_env_parsing ]);
       ( "case",
         [

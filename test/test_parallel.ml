@@ -97,6 +97,25 @@ let persistent_pool_nested_runs_inline () =
   Alcotest.(check int) "nested chunks all ran" 12 (Atomic.get inner_total);
   Parallel.Pool.shutdown pool
 
+let shared_pool_respawns_after_shutdown () =
+  let p1 = Parallel.Pool.shared () in
+  Parallel.Pool.run ~pool:p1 ~chunks:4 (fun _ -> ());
+  Parallel.Pool.shutdown p1;
+  (* re-fetching after a shutdown transparently respawns a working pool
+     (the serve → drain → serve cycle) *)
+  let p2 = Parallel.Pool.shared () in
+  Alcotest.(check bool) "fresh pool after shutdown" true (p2 != p1);
+  let acc = Atomic.make 0 in
+  Parallel.Pool.run ~pool:p2 ~chunks:10 (fun c -> ignore (Atomic.fetch_and_add acc c));
+  Alcotest.(check int) "sum on respawned pool" 45 (Atomic.get acc);
+  (* repeated shutdowns stay idempotent, and the default [run] path
+     lands on yet another live shared pool *)
+  Parallel.Pool.shutdown p2;
+  Parallel.Pool.shutdown p2;
+  let hits = Atomic.make 0 in
+  Parallel.Pool.run ~chunks:6 (fun _ -> Atomic.incr hits);
+  Alcotest.(check int) "default path after two drains" 6 (Atomic.get hits)
+
 let par_array_explicit_pool () =
   let pool = Parallel.Pool.create ~domains:3 () in
   let f i = (i * 31) mod 97 in
@@ -123,6 +142,7 @@ let () =
           tc "survives exception" `Quick persistent_pool_exception_then_reuse;
           tc "shutdown" `Quick persistent_pool_shutdown_semantics;
           tc "nested runs inline" `Quick persistent_pool_nested_runs_inline;
+          tc "shared respawns after shutdown" `Quick shared_pool_respawns_after_shutdown;
         ] );
       ( "par_array",
         [

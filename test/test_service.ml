@@ -1,0 +1,432 @@
+(* Evaluation-service suites: bounded HTTP parsing, protocol round-trips,
+   batching, backpressure, deadlines, drain and Stop-scope composition.
+   Servers bind 127.0.0.1 on ephemeral ports. *)
+
+module Http = Service.Http
+module Proto = Service.Proto
+module Server = Service.Server
+module Client = Service.Client
+module Stop = Experiments.Stop
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* --- HTTP parser ------------------------------------------------- *)
+
+(* Feed raw bytes to the request parser through a socketpair. *)
+let parse_bytes ?limits bytes =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let writer = Domain.spawn (fun () ->
+      let buf = Bytes.of_string bytes in
+      let n = Bytes.length buf in
+      let rec go off =
+        if off < n then
+          match Unix.write a buf off (n - off) with
+          | w -> go (off + w)
+          | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+      in
+      go 0;
+      (try Unix.shutdown a Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ()))
+  in
+  let result = Http.read_request ?limits (Http.reader b) in
+  Domain.join writer;
+  Unix.close a;
+  Unix.close b;
+  result
+
+let http_parses_simple_request () =
+  match parse_bytes "POST /eval?x=1&y=a%20b HTTP/1.1\r\nHost: h\r\nContent-Length: 2\r\n\r\nhi" with
+  | Ok req ->
+    Alcotest.(check string) "meth" "POST" req.Http.meth;
+    Alcotest.(check string) "path" "/eval" req.Http.path;
+    Alcotest.(check (list (pair string string))) "query" [ ("x", "1"); ("y", "a b") ]
+      req.Http.query;
+    Alcotest.(check string) "body" "hi" req.Http.body;
+    Alcotest.(check bool) "keep alive" true (Http.keep_alive req)
+  | Error e -> Alcotest.failf "unexpected error: %s" (Http.error_to_string e)
+
+let http_rejects_oversized_header () =
+  let limits = { Http.default_limits with Http.max_header_bytes = 128 } in
+  let big = "GET / HTTP/1.1\r\nx-pad: " ^ String.make 256 'a' ^ "\r\n\r\n" in
+  (match parse_bytes ~limits big with
+  | Error `Header_too_large -> ()
+  | Ok _ -> Alcotest.fail "oversized header accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Http.error_to_string e));
+  let limits = { Http.default_limits with Http.max_headers = 2 } in
+  match parse_bytes ~limits "GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n" with
+  | Error `Header_too_large -> ()
+  | Ok _ -> Alcotest.fail "too many headers accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Http.error_to_string e)
+
+let http_rejects_oversized_body () =
+  let limits = { Http.default_limits with Http.max_body_bytes = 8 } in
+  match parse_bytes ~limits "POST / HTTP/1.1\r\nContent-Length: 64\r\n\r\n" with
+  | Error `Body_too_large -> ()
+  | Ok _ -> Alcotest.fail "oversized body accepted"
+  | Error e -> Alcotest.failf "wrong error: %s" (Http.error_to_string e)
+
+let http_rejects_malformed () =
+  let expect_bad bytes =
+    match parse_bytes bytes with
+    | Error (`Bad_request _) -> ()
+    | Ok _ -> Alcotest.failf "accepted malformed %S" bytes
+    | Error e -> Alcotest.failf "wrong error for %S: %s" bytes (Http.error_to_string e)
+  in
+  expect_bad "NOT-A-REQUEST-LINE\r\n\r\n";
+  expect_bad "GET / HTTP/9.9\r\n\r\n";
+  expect_bad "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n";
+  expect_bad "POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n";
+  expect_bad "POST / HTTP/1.1\r\nContent-Length: -4\r\n\r\n";
+  expect_bad "POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+  expect_bad "GET /%zz HTTP/1.1\r\n\r\n";
+  (* truncated mid-head and mid-body *)
+  expect_bad "GET / HTTP/1.1\r\nHost: h";
+  expect_bad "POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"
+
+let http_eof_is_closed () =
+  match parse_bytes "" with
+  | Error `Closed -> ()
+  | Ok _ -> Alcotest.fail "empty stream produced a request"
+  | Error e -> Alcotest.failf "wrong error: %s" (Http.error_to_string e)
+
+let http_keep_alive_pipelining () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let bytes = "GET /one HTTP/1.1\r\n\r\nGET /two HTTP/1.0\r\n\r\n" in
+  ignore (Unix.write a (Bytes.of_string bytes) 0 (String.length bytes));
+  let r = Http.reader b in
+  (match Http.read_request r with
+  | Ok req ->
+    Alcotest.(check string) "first" "/one" req.Http.path;
+    Alcotest.(check bool) "keep-alive" true (Http.keep_alive req)
+  | Error e -> Alcotest.failf "first: %s" (Http.error_to_string e));
+  (match Http.read_request r with
+  | Ok req ->
+    Alcotest.(check string) "second" "/two" req.Http.path;
+    Alcotest.(check bool) "1.0 closes" false (Http.keep_alive req)
+  | Error e -> Alcotest.failf "second: %s" (Http.error_to_string e));
+  Unix.close a;
+  Unix.close b
+
+let http_fuzz_never_raises =
+  Tutil.qcheck ~count:60 "read_request never raises"
+    QCheck2.Gen.(string_size ~gen:(char_range '\000' '\255') (int_range 0 200))
+    (fun bytes ->
+      let limits =
+        { Http.max_header_bytes = 64; max_headers = 4; max_body_bytes = 64 }
+      in
+      match parse_bytes ~limits bytes with Ok _ | Error _ -> true)
+
+(* --- Protocol ---------------------------------------------------- *)
+
+let named_job ?(schedules = [ Proto.Heuristic "HEFT" ]) ?(ul = 1.1) ?deadline_ms () =
+  {
+    Proto.workload =
+      Proto.Named { kind = Experiments.Case.Cholesky; n = 10; procs = 3; seed = 1L };
+    ul;
+    backend = Makespan.Engine.Classical;
+    schedules;
+    slack_mode = `Disjunctive;
+    delta = None;
+    gamma = None;
+    deadline_ms;
+  }
+
+let inline_job () =
+  let graph = Dag.Graph.make ~n:3 ~edges:[ (0, 1, 2.); (0, 2, 1.); (1, 2, 3.) ] in
+  let etc = [| [| 1.; 2. |]; [| 2.; 1. |]; [| 1.5; 1.5 |] |] in
+  let flat = [| [| 0.; 1. |]; [| 1.; 0. |] |] in
+  let platform = Platform.make ~etc ~tau:flat ~latency:flat in
+  {
+    Proto.workload = Proto.Inline { graph; platform };
+    ul = 1.2;
+    backend = Makespan.Engine.Dodin;
+    schedules = [ Proto.Random { count = 4; seed = 3L } ];
+    slack_mode = `Precedence;
+    delta = Some 0.5;
+    gamma = Some 1.001;
+    deadline_ms = Some 60_000;
+  }
+
+let proto_job_roundtrip () =
+  let check job =
+    match Proto.job_of_json (Proto.job_to_json job) with
+    | Ok back ->
+      Alcotest.(check string) "roundtrip" (Proto.job_to_json job) (Proto.job_to_json back)
+    | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  in
+  check (named_job ());
+  check
+    (named_job
+       ~schedules:[ Proto.Heuristic "DLS"; Proto.Random { count = 7; seed = -1L } ]
+       ~deadline_ms:1500 ());
+  check (inline_job ());
+  check { (named_job ()) with Proto.backend = Makespan.Engine.Montecarlo { count = 50; seed = 9L } }
+
+let proto_rejects_invalid () =
+  let expect_err body =
+    match Proto.job_of_json body with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted invalid job %s" body
+  in
+  expect_err "not json at all {";
+  expect_err "[1,2,3]";
+  expect_err {|{"ul":1.1,"schedules":["HEFT"]}|};
+  (* missing workload *)
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":0.5,"schedules":["HEFT"]}|};
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":1.1,"schedules":[]}|};
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":1.1,"schedules":["NOPE"]}|};
+  expect_err
+    {|{"workload":{"kind":"volcano","n":10,"procs":3},"ul":1.1,"schedules":["HEFT"]}|};
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":1.1,"backend":"quantum","schedules":["HEFT"]}|};
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":99999,"procs":3},"ul":1.1,"schedules":["HEFT"]}|};
+  expect_err
+    {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":1.1,"schedules":[{"random":{"count":999999999}}]}|}
+
+let proto_eval_deterministic () =
+  let job = named_job ~schedules:[ Proto.Heuristic "HEFT"; Proto.Random { count = 3; seed = 5L } ] () in
+  match (Proto.eval job, Proto.eval job) with
+  | Ok a, Ok b -> Alcotest.(check string) "identical bytes" a b
+  | Error e, _ | _, Error e -> Alcotest.failf "eval failed: %s" e
+
+let proto_inline_key_stable () =
+  let j1 = inline_job () and j2 = inline_job () in
+  match (Proto.context_of_job j1, Proto.context_of_job j2) with
+  | Ok c1, Ok c2 ->
+    Alcotest.(check string) "same content, same key" c1.Proto.key c2.Proto.key;
+    Alcotest.(check bool) "digest-prefixed" true
+      (String.length c1.Proto.key > 7 && String.sub c1.Proto.key 0 7 = "inline-");
+    let j3 = { j1 with Proto.ul = 1.3 } in
+    (match Proto.context_of_job j3 with
+    | Ok c3 ->
+      Alcotest.(check bool) "ul changes key" true (c1.Proto.key <> c3.Proto.key)
+    | Error e -> Alcotest.failf "context: %s" e)
+  | Error e, _ | _, Error e -> Alcotest.failf "context: %s" e
+
+(* --- Server ------------------------------------------------------ *)
+
+let with_server ?(config = Server.default_config) f =
+  let t = Server.start config in
+  Fun.protect ~finally:(fun () -> Server.stop t) (fun () -> f t)
+
+let with_client t f =
+  let c = Client.connect ~port:(Server.port t) () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let server_sync_eval_matches_local () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          let job =
+            named_job ~schedules:[ Proto.Heuristic "HEFT"; Proto.Random { count = 3; seed = 5L } ] ()
+          in
+          let local =
+            match Proto.eval job with Ok b -> b | Error e -> Alcotest.fail e
+          in
+          (match Client.eval c job with
+          | Ok served -> Alcotest.(check string) "served = local bytes" local served
+          | Error e -> Alcotest.fail e);
+          match Client.healthz c with
+          | Ok body ->
+            Alcotest.(check bool) "healthz has version" true
+              (contains ~needle:Service.Build_info.version body);
+            Alcotest.(check bool) "healthz ok" true (contains ~needle:"\"ok\"" body)
+          | Error e -> Alcotest.fail e))
+
+let server_batches_same_key_jobs () =
+  let config = { Server.default_config with Server.auto_worker = false } in
+  with_server ~config (fun t ->
+      with_client t (fun c ->
+          (* same (graph × platform × UL) key, different schedule specs *)
+          let j1 = named_job ~schedules:[ Proto.Heuristic "HEFT" ] () in
+          let j2 = named_job ~schedules:[ Proto.Random { count = 2; seed = 9L } ] () in
+          let id1 = match Client.submit c j1 with Ok id -> id | Error e -> Alcotest.fail e in
+          let id2 = match Client.submit c j2 with Ok id -> id | Error e -> Alcotest.fail e in
+          Alcotest.(check int) "both queued" 2 (Server.stats t).Server.queue_depth;
+          let processed = Server.step t in
+          Alcotest.(check int) "one step ran both" 2 processed;
+          let s = Server.stats t in
+          Alcotest.(check int) "one batch" 1 s.Server.batches;
+          Alcotest.(check int) "batch of two" 2 s.Server.max_batch;
+          Alcotest.(check int) "one engine" 1 s.Server.engines_created;
+          Alcotest.(check int) "both done" 2 s.Server.jobs_done;
+          Alcotest.(check bool) "shared caches hit" true (s.Server.engine_task_hits > 0);
+          (* batching must not change response bytes *)
+          List.iter
+            (fun (id, job) ->
+              let local =
+                match Proto.eval job with Ok b -> b | Error e -> Alcotest.fail e
+              in
+              match Client.wait c id with
+              | Ok served -> Alcotest.(check string) (id ^ " bytes") local served
+              | Error e -> Alcotest.fail e)
+            [ (id1, j1); (id2, j2) ]))
+
+let server_backpressure_503 () =
+  let config =
+    { Server.default_config with Server.auto_worker = false; queue_capacity = 1 }
+  in
+  with_server ~config (fun t ->
+      with_client t (fun c ->
+          let j = named_job () in
+          (match Client.submit c j with Ok _ -> () | Error e -> Alcotest.fail e);
+          (match Client.post c "/jobs" (Proto.job_to_json j) with
+          | Ok resp ->
+            Alcotest.(check int) "second gets 503" 503 resp.Http.status;
+            Alcotest.(check bool) "retry-after set" true
+              (Http.header "retry-after" resp.Http.headers <> None)
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          let s = Server.stats t in
+          Alcotest.(check int) "one admitted" 1 s.Server.jobs_submitted;
+          Alcotest.(check int) "one rejected" 1 s.Server.rejected_full;
+          Alcotest.(check int) "nothing evaluated yet" 0 s.Server.batches;
+          ignore (Server.step t)))
+
+let server_deadline_expires_504 () =
+  let config = { Server.default_config with Server.auto_worker = false } in
+  with_server ~config (fun t ->
+      with_client t (fun c ->
+          (* no worker runs it, so the queue-admission deadline must fire *)
+          let j = named_job ~deadline_ms:30 () in
+          (match Client.post c "/eval" (Proto.job_to_json j) with
+          | Ok resp -> Alcotest.(check int) "sync deadline" 504 resp.Http.status
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          let s = Server.stats t in
+          Alcotest.(check int) "expired counted" 1 s.Server.jobs_expired;
+          (* expired job is skipped, not evaluated, when a step drains it *)
+          ignore (Server.step t);
+          Alcotest.(check int) "never evaluated" 0 (Server.stats t).Server.jobs_done))
+
+let server_rejects_invalid_requests () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          (match Client.post c "/eval" "definitely not json" with
+          | Ok resp -> Alcotest.(check int) "bad body" 400 resp.Http.status
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          (match Client.get c "/jobs/job-999999" with
+          | Ok resp -> Alcotest.(check int) "unknown job" 404 resp.Http.status
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          (match Client.post c "/healthz" "" with
+          | Ok resp -> Alcotest.(check int) "wrong method" 405 resp.Http.status
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          (match Client.get c "/nope" with
+          | Ok resp -> Alcotest.(check int) "unknown route" 404 resp.Http.status
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          match Client.get c "/metrics" with
+          | Ok resp ->
+            Alcotest.(check int) "metrics alive" 200 resp.Http.status;
+            Alcotest.(check bool) "metrics json" true
+              (contains ~needle:"\"service\"" resp.Http.body)
+          | Error e -> Alcotest.fail (Http.error_to_string e)))
+
+let server_drain_cancels_queued () =
+  let config = { Server.default_config with Server.auto_worker = false } in
+  let t = Server.start config in
+  let c = Client.connect ~port:(Server.port t) () in
+  let id = match Client.submit c (named_job ()) with Ok id -> id | Error e -> Alcotest.fail e in
+  ignore id;
+  Client.close c;
+  Server.stop t;
+  Server.stop t (* idempotent *);
+  let s = Server.stats t in
+  Alcotest.(check int) "queued job cancelled" 1 s.Server.jobs_cancelled;
+  Alcotest.(check int) "queue drained" 0 s.Server.queue_depth
+
+let server_restarts_after_stop () =
+  (* serve → drain → serve in one process: the shared pool must survive
+     (its teardown belongs to at_exit, not Server.stop). *)
+  let run_once () =
+    with_server (fun t ->
+        with_client t (fun c ->
+            match Client.eval c (named_job ()) with
+            | Ok body -> body
+            | Error e -> Alcotest.fail e))
+  in
+  let a = run_once () in
+  let b = run_once () in
+  Alcotest.(check string) "second server, same bytes" a b
+
+(* --- Stop scopes (shared by campaign + service) ------------------- *)
+
+let stop_scopes_compose () =
+  Stop.with_scope (fun outer ->
+      Stop.with_scope (fun inner ->
+          Alcotest.(check bool) "clean" false
+            (Stop.requested outer || Stop.requested inner);
+          Stop.request ();
+          Alcotest.(check bool) "outer sees it" true (Stop.requested outer);
+          Alcotest.(check bool) "inner sees it" true (Stop.requested inner);
+          Stop.clear inner;
+          Alcotest.(check bool) "inner cleared" false (Stop.requested inner);
+          Alcotest.(check bool) "outer still set" true (Stop.requested outer);
+          Stop.clear outer))
+
+let stop_restores_signal_behavior () =
+  (* behavioral check: inside a scope SIGINT is a stop request; once the
+     last scope exits the previous handler is back in charge *)
+  let hits = ref 0 in
+  let saved = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> incr hits)) in
+  let await cond =
+    let deadline = Unix.gettimeofday () +. 5. in
+    while (not (cond ())) && Unix.gettimeofday () < deadline do
+      Unix.sleepf 0.005
+    done;
+    cond ()
+  in
+  Fun.protect
+    ~finally:(fun () -> ignore (Sys.signal Sys.sigint saved))
+    (fun () ->
+      Stop.with_scope (fun scope ->
+          Alcotest.(check int) "scope active" 1 (Stop.active ());
+          Unix.kill (Unix.getpid ()) Sys.sigint;
+          Alcotest.(check bool) "scope caught the signal" true
+            (await (fun () -> Stop.requested scope));
+          Alcotest.(check int) "previous handler untouched" 0 !hits;
+          Stop.clear scope);
+      Alcotest.(check int) "inactive after exit" 0 (Stop.active ());
+      Unix.kill (Unix.getpid ()) Sys.sigint;
+      Alcotest.(check bool) "previous handler restored" true
+        (await (fun () -> !hits = 1)))
+
+let () =
+  let tc = Alcotest.test_case in
+  Alcotest.run "service"
+    [
+      ( "http",
+        [
+          tc "simple request" `Quick http_parses_simple_request;
+          tc "oversized header" `Quick http_rejects_oversized_header;
+          tc "oversized body" `Quick http_rejects_oversized_body;
+          tc "malformed" `Quick http_rejects_malformed;
+          tc "eof" `Quick http_eof_is_closed;
+          tc "pipelining" `Quick http_keep_alive_pipelining;
+          http_fuzz_never_raises;
+        ] );
+      ( "proto",
+        [
+          tc "job roundtrip" `Quick proto_job_roundtrip;
+          tc "rejects invalid" `Quick proto_rejects_invalid;
+          tc "deterministic" `Quick proto_eval_deterministic;
+          tc "inline key" `Quick proto_inline_key_stable;
+        ] );
+      ( "server",
+        [
+          tc "sync eval = local bytes" `Quick server_sync_eval_matches_local;
+          tc "batches same-key jobs" `Quick server_batches_same_key_jobs;
+          tc "backpressure 503" `Quick server_backpressure_503;
+          tc "deadline 504" `Quick server_deadline_expires_504;
+          tc "invalid requests" `Quick server_rejects_invalid_requests;
+          tc "drain cancels queued" `Quick server_drain_cancels_queued;
+          tc "serve-drain-serve" `Quick server_restarts_after_stop;
+        ] );
+      ( "stop",
+        [
+          tc "scopes compose" `Quick stop_scopes_compose;
+          tc "signals restored" `Quick stop_restores_signal_behavior;
+        ] );
+    ]
