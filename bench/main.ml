@@ -295,6 +295,131 @@ let substrate_tests =
            ignore (Sched.Slack.compute sched inst.E.Case.platform inst.E.Case.model)));
   ]
 
+(* Scheduler-framework overhead: the pre-refactor monolithic HEFT,
+   inlined verbatim from the seed tree, raced against the parameterized
+   Components/List_scheduler recomposition (plus one kernel per registry
+   entry). The acceptance bound on the refactor is framework-HEFT within
+   5% of this baseline; BENCH_sched.json records the comparison. *)
+module Legacy_heft = struct
+  let average_weights graph platform =
+    let mean_tau = Platform.mean_tau platform in
+    let mean_latency = Platform.mean_latency platform in
+    let m = Platform.n_procs platform in
+    let collapse v =
+      let row = Array.init m (fun p -> Platform.etc platform ~task:v ~proc:p) in
+      Array.fold_left ( +. ) 0. row /. float_of_int m
+    in
+    let edge u v =
+      match Dag.Graph.volume graph ~src:u ~dst:v with
+      | Some volume -> mean_latency +. (volume *. mean_tau)
+      | None -> 0.
+    in
+    { Dag.Levels.task = collapse; edge }
+
+  let rank_order graph platform =
+    let ranks = Dag.Levels.bottom_levels graph (average_weights graph platform) in
+    let tasks = Array.init (Dag.Graph.n_tasks graph) (fun i -> i) in
+    Array.sort
+      (fun a b ->
+        match Float.compare ranks.(b) ranks.(a) with 0 -> Int.compare a b | c -> c)
+      tasks;
+    tasks
+
+  type slot = { s_start : float; s_finish : float; s_task : int }
+
+  type t = {
+    graph : Dag.Graph.t;
+    platform : Platform.t;
+    mutable slots : slot list array;
+    placed_proc : int array;
+    placed_finish : float array;
+  }
+
+  let create graph platform =
+    let n = Dag.Graph.n_tasks graph in
+    {
+      graph;
+      platform;
+      slots = Array.make (Platform.n_procs platform) [];
+      placed_proc = Array.make n (-1);
+      placed_finish = Array.make n 0.;
+    }
+
+  let ready_time t ~task ~proc =
+    let acc = ref 0. in
+    Array.iter
+      (fun (p, volume) ->
+        let arrival =
+          t.placed_finish.(p)
+          +. Platform.comm_time t.platform ~src:t.placed_proc.(p) ~dst:proc ~volume
+        in
+        if arrival > !acc then acc := arrival)
+      (Dag.Graph.preds t.graph task);
+    !acc
+
+  let find_slot slots ~ready ~dur =
+    let rec scan candidate = function
+      | [] -> candidate
+      | { s_start; s_finish; _ } :: rest ->
+        if candidate +. dur <= s_start then candidate
+        else scan (Float.max candidate s_finish) rest
+    in
+    scan ready slots
+
+  let eft t ~task ~proc =
+    let ready = ready_time t ~task ~proc in
+    let dur = Platform.etc t.platform ~task ~proc in
+    let start = find_slot t.slots.(proc) ~ready ~dur in
+    (start, start +. dur)
+
+  let place t ~task ~proc =
+    let start, finish = eft t ~task ~proc in
+    t.placed_proc.(task) <- proc;
+    t.placed_finish.(task) <- finish;
+    let rec insert = function
+      | [] -> [ { s_start = start; s_finish = finish; s_task = task } ]
+      | slot :: rest when slot.s_start < start -> slot :: insert rest
+      | slots -> { s_start = start; s_finish = finish; s_task = task } :: slots
+    in
+    t.slots.(proc) <- insert t.slots.(proc)
+
+  let to_schedule t =
+    let order =
+      Array.map (fun slots -> Array.of_list (List.map (fun s -> s.s_task) slots)) t.slots
+    in
+    Sched.Schedule.make ~graph:t.graph ~n_procs:(Platform.n_procs t.platform)
+      ~proc_of:(Array.copy t.placed_proc) ~order
+
+  let schedule graph platform =
+    let state = create graph platform in
+    let m = Platform.n_procs platform in
+    Array.iter
+      (fun task ->
+        let best_proc = ref 0 and best_finish = ref infinity in
+        for proc = 0 to m - 1 do
+          let _, finish = eft state ~task ~proc in
+          if finish < !best_finish then begin
+            best_finish := finish;
+            best_proc := proc
+          end
+        done;
+        place state ~task ~proc:!best_proc)
+      (rank_order graph platform);
+    to_schedule state
+end
+
+let sched_tests =
+  let on_random30 name run =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           ignore (run inst.E.Case.graph inst.E.Case.platform)))
+  in
+  on_random30 "sched:heft-legacy" Legacy_heft.schedule
+  :: List.map
+       (fun e -> on_random30 ("sched:" ^ e.Sched.Registry.name) e.Sched.Registry.run)
+       Sched.Registry.entries
+
 (* distribution/convolution/pool kernels: the zero-allocation hot layer.
    These run both in the full bench and in `--perf-smoke` (the CI step
    that writes BENCH_dist.json without reproducing every figure). *)
@@ -407,8 +532,8 @@ let run_benchmarks () =
   let figures =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
-      (figure_tests @ engine_tests @ substrate_tests @ dist_tests @ conv_tests
-     @ pool_tests)
+      (figure_tests @ engine_tests @ substrate_tests @ sched_tests @ dist_tests
+     @ conv_tests @ pool_tests)
   in
   (* the obs kernels measure overheads expected to sit near zero, so
      they get a longer quota and GC stabilization to push sampling noise
@@ -565,18 +690,67 @@ let write_dist_json kernels =
   close_out oc;
   Printf.printf "[wrote BENCH_dist.json]\n%!"
 
-(* `--perf-smoke`: the CI fast path — only the dist/conv/pool kernels,
-   short quotas, no figure reproduction. Still writes BENCH_dist.json. *)
+(* BENCH_sched.json: the list-scheduler framework overhead record. The
+   headline is framework HEFT (Components + List_scheduler recomposition)
+   vs the inlined pre-refactor monolith on the identical random30 case —
+   the ≤ 5% acceptance bound applies to "overhead_framework_heft_pct".
+   Every other registry entry's time rides along for context. *)
+let write_sched_json results =
+  let prefix = "sched:" in
+  let kernels =
+    List.filter
+      (fun (name, _) ->
+        String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix)
+      results
+  in
+  let get name =
+    match List.assoc_opt name results with
+    | Some ns when Float.is_finite ns && ns > 0. -> Some ns
+    | _ -> None
+  in
+  let ns_field name =
+    match get name with Some ns -> Printf.sprintf "%.3f" ns | None -> "null"
+  in
+  let overhead =
+    match (get "sched:heft-legacy", get "sched:HEFT") with
+    | Some l, Some f -> Printf.sprintf "%.2f" ((f -. l) /. l *. 100.)
+    | _ -> "null"
+  in
+  let json_field (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns\": %s }" name
+      (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+  in
+  let oc = open_out "BENCH_sched.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"ns/run\",\n\
+    \  \"case\": \"random30/p8\",\n\
+    \  \"legacy_heft_ns\": %s,\n\
+    \  \"framework_heft_ns\": %s,\n\
+    \  \"overhead_framework_heft_pct\": %s,\n\
+    \  \"kernels\": [\n%s\n  ]\n\
+     }\n"
+    (ns_field "sched:heft-legacy")
+    (ns_field "sched:HEFT") overhead
+    (String.concat ",\n" (List.map json_field kernels));
+  close_out oc;
+  Printf.printf "[wrote BENCH_sched.json]\n%!"
+
+(* `--perf-smoke`: the CI fast path — only the dist/conv/pool/sched
+   kernels, short quotas, no figure reproduction. Still writes
+   BENCH_dist.json and BENCH_sched.json. *)
 let perf_smoke () =
-  Printf.printf "================ perf smoke (dist/conv/pool) ================\n\n";
+  Printf.printf "================ perf smoke (dist/conv/pool/sched) ================\n\n";
   Printf.printf "%-36s  %14s\n" "kernel" "time/run";
   Printf.printf "%s\n" (String.make 52 '-');
   let kernels =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
-      (dist_tests @ conv_tests @ pool_tests)
+      (dist_tests @ conv_tests @ pool_tests @ sched_tests)
   in
   write_dist_json kernels;
+  write_sched_json kernels;
   Parallel.Pool.shutdown (Lazy.force bench_pool)
 
 let () =
@@ -587,5 +761,6 @@ let () =
     write_bench_json results;
     write_obs_json results;
     write_dist_json results;
+    write_sched_json results;
     Parallel.Pool.shutdown (Lazy.force bench_pool)
   end

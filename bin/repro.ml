@@ -172,8 +172,28 @@ let run_ablation ctx =
 (* --- schedule inspection commands --- *)
 
 let heuristics_with_extras =
-  E.Runner.heuristics
-  @ [ ("CPOP", Sched.Cpop.schedule); ("DLS", Sched.Dls.schedule) ]
+  List.map (fun e -> (e.Sched.Registry.name, e.Sched.Registry.run)) Sched.Registry.entries
+
+let run_sched_list () =
+  let open Sched.Registry in
+  Printf.printf "%-10s %-16s %-16s %-10s %s\n" "NAME" "RANK" "SELECT" "INSERT"
+    "PROVENANCE";
+  List.iter
+    (fun e ->
+      Printf.printf "%-10s %-16s %-16s %-10s %s%s\n" e.name e.rank e.select e.insert
+        e.provenance
+        (match e.aliases with
+        | [] -> ""
+        | a -> Printf.sprintf "  (aliases: %s)" (String.concat ", " a)))
+    entries;
+  print_newline ();
+  print_endline
+    "Ad-hoc compositions are accepted wherever a scheduler name is:\n\
+    \  rank=R;select=S[;insert=I][;tie=T]\n\
+     with R in upward[:mean|best|worst] | updown[:...] | static-level | bil | oct | \
+     het-upward,\n\
+     S in eft | cp-pin | dl | bim | oeft | lookahead | crossover[:SEED],\n\
+     I in insertion | append, and T in id | ready | seeded:SEED."
 
 let parse_case s =
   match String.lowercase_ascii s with
@@ -259,8 +279,6 @@ let port_arg default =
 
 let parse_sched_token tok =
   match String.split_on_char ':' tok with
-  | [ name ] when List.mem_assoc name Service.Proto.heuristics ->
-    Ok (Service.Proto.Heuristic name)
   | "random" :: count :: rest -> (
     match (int_of_string_opt count, rest) with
     | Some count, [] -> Ok (Service.Proto.Random { count; seed = 0L })
@@ -269,11 +287,11 @@ let parse_sched_token tok =
       | Some seed -> Ok (Service.Proto.Random { count; seed })
       | None -> Error (`Msg (Printf.sprintf "bad random seed in %S" tok)))
     | _ -> Error (`Msg (Printf.sprintf "bad random spec %S (random:COUNT[:SEED])" tok)))
-  | _ ->
-    Error
-      (`Msg
-        (Printf.sprintf "unknown schedule %S (%s or random:COUNT[:SEED])" tok
-           (String.concat "|" (List.map fst Service.Proto.heuristics))))
+  | _ -> (
+    (* registry name, alias, or rank=...;select=... composition *)
+    match Sched.Registry.parse tok with
+    | Ok e -> Ok (Service.Proto.Heuristic e.Sched.Registry.name)
+    | Error msg -> Error (`Msg msg))
 
 let schedules_arg =
   let parse s =
@@ -299,8 +317,9 @@ let schedules_arg =
     & opt (conv (parse, print)) [ Service.Proto.Heuristic "HEFT" ]
     & info [ "schedules" ] ~docv:"SPECS"
         ~doc:
-          "Comma-separated schedule sources: heuristic names (HEFT, BIL, Hyb.BMCT, \
-           CPOP, DLS) and/or $(b,random:COUNT[:SEED]) batches.")
+          "Comma-separated schedule sources: registry scheduler names (see $(b,repro \
+           sched --list)), $(b,rank=R;select=S[;insert=I][;tie=T]) compositions, \
+           and/or $(b,random:COUNT[:SEED]) batches.")
 
 let backend_arg =
   Arg.(
@@ -479,14 +498,16 @@ let loadgen_cmd =
    failed permanently (results above exclude it), 130 when a stop was
    requested (SIGINT/SIGTERM) — checkpoints and manifest are saved, so
    rerunning resumes exactly. *)
-let run_campaign limit ctx =
+let run_campaign limit schedulers ctx =
   let dir = Option.value ctx.out ~default:"repro-campaign" in
   let cases =
     Option.map
       (fun k -> List.filteri (fun i _ -> i < k) (E.Case.paper_cases ()))
       limit
   in
-  match E.Campaign.run ?domains:ctx.domains ~scale:ctx.scale ~dir ?cases () with
+  match
+    E.Campaign.run ?domains:ctx.domains ~scale:ctx.scale ?schedulers ~dir ?cases ()
+  with
   | exception E.Campaign.Interrupted ->
     prerr_endline
       "campaign: stop requested; completed cases are checkpointed — rerun to resume";
@@ -580,6 +601,30 @@ let limit_arg =
     & info [ "limit" ] ~docv:"N"
         ~doc:"Run only the first $(docv) paper cases (CI / smoke testing).")
 
+let schedulers_arg =
+  let parse s =
+    let toks =
+      List.filter (fun t -> t <> "") (List.map String.trim (String.split_on_char ',' s))
+    in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | t :: rest -> (
+        match Sched.Registry.parse t with
+        | Ok _ -> go (t :: acc) rest
+        | Error msg -> Error (`Msg msg))
+    in
+    go [] toks
+  in
+  let print fmt l = Format.pp_print_string fmt (String.concat "," l) in
+  Arg.(
+    value
+    & opt (some (conv (parse, print))) None
+    & info [ "schedulers" ] ~docv:"NAMES"
+        ~doc:
+          "Comma-separated heuristic schedulers swept next to the random batch: registry \
+           names (see $(b,repro sched --list)) or $(b,rank=R;select=S) compositions. \
+           Default: HEFT,BIL,Hyb.BMCT.")
+
 let campaign_cmd =
   Cmd.v
     (Cmd.info "campaign"
@@ -588,11 +633,25 @@ let campaign_cmd =
           manifest in --out (default repro-campaign/), crash-safe and resumable. Exits 2 \
           if a case failed permanently, 130 on SIGINT/SIGTERM (resume by rerunning).")
     Term.(
-      const (fun ctx limit ->
-          let code = run_campaign limit ctx in
+      const (fun ctx limit schedulers ->
+          let code = run_campaign limit schedulers ctx in
           finalize ctx;
           if code <> 0 then Stdlib.exit code)
-      $ ctx_term $ limit_arg)
+      $ ctx_term $ limit_arg $ schedulers_arg)
+
+let sched_cmd =
+  let list_arg =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List every registered scheduler (name, components, provenance).")
+  in
+  Cmd.v
+    (Cmd.info "sched"
+       ~doc:
+         "Inspect the scheduler registry: names, component decomposition \
+          (rank/select/insert) and provenance, plus the composition grammar.")
+    Term.(const (fun _list -> run_sched_list ()) $ list_arg)
 
 let () =
   let cmds =
@@ -614,6 +673,7 @@ let () =
       cmd "ablation" "Extension: variable-UL correlation shift + RobustHEFT sweep."
         run_ablation;
       campaign_cmd;
+      sched_cmd;
       cmd "all" "Every figure and in-text result in sequence." run_all;
       case_cmd "gantt" "Gantt charts of all heuristics on a chosen workload." run_gantt;
       case_cmd "dot" "Export a workload DAG as Graphviz." run_dot;

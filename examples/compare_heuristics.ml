@@ -1,13 +1,12 @@
-(* Compare the four scheduling heuristics (HEFT, BIL, Hyb.BMCT, CPOP) and
-   the best of a batch of random schedules across three workload families,
-   reporting both the performance metric (expected makespan) and the key
-   robustness metric (makespan standard deviation).
+(* Compare every registered scheduling heuristic (HEFT, CPOP, DLS, BIL,
+   Hyb.BMCT, PEFT, HEFT-LA, IHEFT) and the best of a batch of random
+   schedules across three workload families, reporting both the
+   performance metric (expected makespan) and the key robustness metric
+   (makespan standard deviation).
 
    Run with:  dune exec examples/compare_heuristics.exe *)
 
-let heuristics =
-  [ ("HEFT", Core.Heuristics.heft); ("BIL", Core.Heuristics.bil);
-    ("Hyb.BMCT", Core.Heuristics.bmct); ("CPOP", Core.Heuristics.cpop) ]
+let heuristics = Core.Heuristics.registry
 
 let evaluate name sched platform model =
   let a = Core.analyze sched platform model in

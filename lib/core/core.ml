@@ -75,6 +75,12 @@ module Heuristics = struct
   let bmct = Sched.Bmct.schedule
   let cpop = Sched.Cpop.schedule
   let dls = Sched.Dls.schedule
+  let peft = Sched.Peft.schedule
+  let heft_la = Sched.Heft_la.schedule
+
+  (** Stochastic EFT/local-fastest cross-over; [?seed] drives the
+      per-decision coin (default {!Sched.Iheft.default_seed}). *)
+  let iheft = Sched.Iheft.schedule
 
   (** The uncertainty-aware list heuristic of the paper's future work
       (§VIII): ranking and placement by [mean + κ·std] durations. *)
@@ -82,7 +88,16 @@ module Heuristics = struct
 
   (** The paper's three, by display name. *)
   let all = Experiments.Runner.heuristics
+
+  (** Every registry entry, by display name — the same table behind
+      [repro sched --list], {!Registry.parse} accepting names, aliases
+      and [rank=...,select=...] compositions. *)
+  let registry = List.map Experiments.Runner.scheduler (Sched.Registry.names ())
 end
+
+module Registry = Sched.Registry
+module List_scheduler = Sched.List_scheduler
+module Sched_components = Sched.Components
 
 module Gantt = Sched.Gantt
 

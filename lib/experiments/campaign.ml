@@ -92,9 +92,12 @@ let transient = function
   | _ -> false
 
 let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
-    ?(backoff = 0.5) ~dir ?cases () =
+    ?(backoff = 0.5) ?schedulers ~dir ?cases () =
   if attempts < 1 then invalid_arg "Campaign.run: attempts must be >= 1";
   if backoff < 0. then invalid_arg "Campaign.run: backoff must be >= 0";
+  (* resolve scheduler names up front so a typo fails before any sweep *)
+  let heuristics = Option.map (List.map Runner.scheduler) schedulers in
+  let wanted_names = List.map fst (Option.value heuristics ~default:Runner.heuristics) in
   let cases = match cases with Some c -> c | None -> Case.paper_cases () in
   Export.mkdir_p dir;
   let slack_name = Manifest.slack_mode_name slack_mode in
@@ -128,10 +131,21 @@ let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
     match Hashtbl.find_opt entries case.Case.id with
     | Some { Manifest.seed; schedules; status = Manifest.Done _; _ }
       when seed = case.Case.seed && schedules = wanted && Sys.file_exists path -> (
+      let covers pairs =
+        List.for_all
+          (fun n ->
+            Array.exists
+              (function Runner.Heuristic h, _ -> h = n | _ -> false)
+              pairs)
+          wanted_names
+      in
       match load_rows path with
-      | pairs when random_count (Array.map fst pairs) >= wanted -> Some pairs
+      | pairs when random_count (Array.map fst pairs) >= wanted && covers pairs ->
+        Some pairs
       | _ ->
-        Elog.warn "campaign: %s checkpoint has too few rows; recomputing" case.Case.id;
+        Elog.warn
+          "campaign: %s checkpoint has too few rows or misses a scheduler; recomputing"
+          case.Case.id;
         None
       | exception Invalid_argument msg ->
         Elog.warn "campaign: %s checkpoint rejected (%s); recomputing" case.Case.id msg;
@@ -182,7 +196,7 @@ let run ?domains ?pool ?(scale = Scale.of_env ()) ?slack_mode ?(attempts = 3)
                    crash-during-write recomputes, the old file survives *)
                 let rec attempt k =
                   match
-                    let r = Runner.run ?domains ?pool ~scale ?slack_mode case in
+                    let r = Runner.run ?domains ?pool ~scale ?slack_mode ?heuristics case in
                     ignore
                       (Export.write_file ~dir ~name:(case.Case.id ^ ".csv")
                          (Export.schedules_csv r));

@@ -70,6 +70,7 @@ val run :
   ?slack_mode:Sched.Slack.graph_mode ->
   ?attempts:int ->
   ?backoff:float ->
+  ?schedulers:string list ->
   dir:string ->
   ?cases:Case.t list ->
   unit ->
@@ -83,6 +84,12 @@ val run :
     doubled per retry (default 0.5; pass [0.] in tests).
     [?pool]/[?domains] select sweep workers as in {!Runner.run}; by
     default every case shares one persistent pool.
+
+    [?schedulers] names the heuristic schedules swept next to the random
+    ones — registry names, aliases, or [rank=...,select=...]
+    compositions (default {!Runner.heuristics}). Unknown names raise
+    [Invalid_argument] before any case runs; a checkpoint missing one of
+    the requested schedulers is recomputed.
 
     While running, the campaign holds a {!Stop} scope, so SIGINT and
     SIGTERM request a cooperative stop without displacing any other

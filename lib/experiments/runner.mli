@@ -14,7 +14,13 @@ type result = {
 }
 
 val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
-(** The paper's three heuristics, by name. *)
+(** The paper's three heuristics (HEFT, BIL, Hyb.BMCT), resolved through
+    {!Sched.Registry}. *)
+
+val scheduler : string -> string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)
+(** Resolve a registry name, alias, or [rank=...,select=...] composition
+    to its canonical name and run function.
+    Raises [Invalid_argument] on unknown names. *)
 
 val run :
   ?domains:int ->
@@ -22,6 +28,7 @@ val run :
   ?scale:Scale.t ->
   ?slack_mode:Sched.Slack.graph_mode ->
   ?count:int ->
+  ?heuristics:(string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list ->
   Case.t ->
   result
 (** Instantiate the case, generate random schedules + the heuristics,
@@ -38,7 +45,11 @@ val run :
     schedules are evaluated and the calibration pilot falls back to
     them. Worker selection follows {!Parallel.Pool.run}: explicit
     [?pool], legacy one-shot [?domains], or the shared persistent
-    pool. *)
+    pool.
+
+    [heuristics] overrides the heuristic schedules swept next to the
+    random ones (default {!heuristics}); each entry is a (name, run)
+    pair as produced by {!scheduler}. *)
 
 val heuristic_rows : result -> (string * float array) list
 (** The heuristics' raw metric vectors. *)

@@ -1,89 +1,16 @@
-let bil graph platform =
-  let n = Dag.Graph.n_tasks graph in
-  let m = Platform.n_procs platform in
-  let levels = Array.make_matrix n m 0. in
-  let topo = Dag.Graph.topo_order graph in
-  for i = n - 1 downto 0 do
-    let t = topo.(i) in
-    for p = 0 to m - 1 do
-      let tail = ref 0. in
-      Array.iter
-        (fun (s, volume) ->
-          let best = ref infinity in
-          for q = 0 to m - 1 do
-            let via =
-              levels.(s).(q) +. Platform.comm_time platform ~src:p ~dst:q ~volume
-            in
-            if via < !best then best := via
-          done;
-          if !best > !tail then tail := !best)
-        (Dag.Graph.succs graph t);
-      levels.(t).(p) <- Platform.etc platform ~task:t ~proc:p +. !tail
-    done
-  done;
-  levels
+(* BIL (Oh & Ha 1996) as a framework instance: the basic imaginary
+   makespan BIM*(t, p) = EST(t, p) + BIL(t, p) drives a row-quantile
+   task priority and a row-argmin processor pick, append-only
+   placement. *)
 
-let schedule graph platform =
-  let n = Dag.Graph.n_tasks graph in
-  let m = Platform.n_procs platform in
-  let levels = bil graph platform in
-  let remaining_preds = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
-  let ready = ref [] in
-  Array.iteri (fun v d -> if d = 0 then ready := v :: !ready) remaining_preds;
-  let proc_avail = Array.make m 0. in
-  let finish = Array.make n 0. in
-  let proc_of = Array.make n (-1) in
-  let picks = ref [] in
-  let est t p =
-    let data = ref 0. in
-    Array.iter
-      (fun (pred, volume) ->
-        let arrival =
-          finish.(pred) +. Platform.comm_time platform ~src:proc_of.(pred) ~dst:p ~volume
-        in
-        if arrival > !data then data := arrival)
-      (Dag.Graph.preds graph t);
-    Float.max !data proc_avail.(p)
-  in
-  for _ = 1 to n do
-    let r = List.length !ready in
-    (* BIM* rows for every ready task *)
-    let rows =
-      List.map
-        (fun t -> (t, Array.init m (fun p -> est t p +. levels.(t).(p))))
-        !ready
-    in
-    (* priority: the k-th smallest BIM* with k = ⌈r/m⌉ (capped at m) *)
-    let k = Int.min m ((r + m - 1) / m) in
-    let priority row =
-      let sorted = Array.copy row in
-      Array.sort Float.compare sorted;
-      sorted.(k - 1)
-    in
-    let best_task, best_row =
-      match rows with
-      | [] -> assert false
-      | first :: rest ->
-        List.fold_left
-          (fun ((_, brow) as best) ((_, row) as cand) ->
-            if priority row > priority brow then cand else best)
-          first rest
-    in
-    let best_proc = ref 0 in
-    for p = 1 to m - 1 do
-      if best_row.(p) < best_row.(!best_proc) then best_proc := p
-    done;
-    let p = !best_proc in
-    let start = est best_task p in
-    proc_of.(best_task) <- p;
-    finish.(best_task) <- start +. Platform.etc platform ~task:best_task ~proc:p;
-    proc_avail.(p) <- finish.(best_task);
-    picks := (best_task, p) :: !picks;
-    ready := List.filter (fun t -> t <> best_task) !ready;
-    Array.iter
-      (fun (w, _) ->
-        remaining_preds.(w) <- remaining_preds.(w) - 1;
-        if remaining_preds.(w) = 0 then ready := w :: !ready)
-      (Dag.Graph.succs graph best_task)
-  done;
-  Schedule.of_assignment_sequence ~graph ~n_procs:m (List.rev !picks)
+let bil = Components.bil_table
+
+let spec =
+  {
+    List_scheduler.ranking = Components.Rank_bil;
+    selection = Components.Select_bim;
+    insertion = Components.Append;
+    tie = Components.Tie_ready;
+  }
+
+let schedule graph platform = List_scheduler.run spec graph platform

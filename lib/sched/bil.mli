@@ -13,3 +13,7 @@ val bil : Dag.Graph.t -> Platform.t -> float array array
 (** [bil g p] is the [n × m] matrix of basic imaginary levels. *)
 
 val schedule : Dag.Graph.t -> Platform.t -> Schedule.t
+
+val spec : List_scheduler.spec
+(** BIL as a composition: BIL level table, BIM* row-quantile selection,
+    append placement. *)

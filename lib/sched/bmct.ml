@@ -1,5 +1,5 @@
 let groups graph platform =
-  let order = Heft.rank_order graph platform in
+  let order = Components.rank_order graph platform in
   let connected t group =
     List.exists
       (fun u -> Dag.Graph.has_edge graph ~src:u ~dst:t || Dag.Graph.has_edge graph ~src:t ~dst:u)

@@ -1,61 +1,16 @@
-let critical_path graph platform =
-  Dag.Levels.critical_path graph (Heft.average_weights graph platform)
+(* CPOP (Topcuoglu et al. 2002) as a framework instance: priority is
+   upward + downward rank, critical-path tasks are pinned to the
+   processor minimizing the whole path's execution time, everything else
+   goes to its EFT processor with insertion. *)
 
-let schedule graph platform =
-  let n = Dag.Graph.n_tasks graph in
-  let m = Platform.n_procs platform in
-  let w = Heft.average_weights graph platform in
-  let rank_u = Dag.Levels.bottom_levels graph w in
-  let rank_d = Dag.Levels.top_levels graph w in
-  let priority = Array.init n (fun v -> rank_u.(v) +. rank_d.(v)) in
-  let cp = critical_path graph platform in
-  let on_cp = Array.make n false in
-  List.iter (fun t -> on_cp.(t) <- true) cp;
-  let cp_proc =
-    let best = ref 0 and best_cost = ref infinity in
-    for p = 0 to m - 1 do
-      let cost =
-        List.fold_left (fun acc t -> acc +. Platform.etc platform ~task:t ~proc:p) 0. cp
-      in
-      if cost < !best_cost then begin
-        best_cost := cost;
-        best := p
-      end
-    done;
-    !best
-  in
-  let state = Heft.Insertion.create graph platform in
-  let remaining_preds = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
-  let ready = ref [] in
-  Array.iteri (fun v d -> if d = 0 then ready := v :: !ready) remaining_preds;
-  for _ = 1 to n do
-    let t =
-      match !ready with
-      | [] -> assert false
-      | first :: rest ->
-        List.fold_left (fun best c -> if priority.(c) > priority.(best) then c else best)
-          first rest
-    in
-    ready := List.filter (fun v -> v <> t) !ready;
-    let proc =
-      if on_cp.(t) then cp_proc
-      else begin
-        let best = ref 0 and best_finish = ref infinity in
-        for p = 0 to m - 1 do
-          let _, f = Heft.Insertion.eft state ~task:t ~proc:p in
-          if f < !best_finish then begin
-            best_finish := f;
-            best := p
-          end
-        done;
-        !best
-      end
-    in
-    Heft.Insertion.place state ~task:t ~proc;
-    Array.iter
-      (fun (s, _) ->
-        remaining_preds.(s) <- remaining_preds.(s) - 1;
-        if remaining_preds.(s) = 0 then ready := s :: !ready)
-      (Dag.Graph.succs graph t)
-  done;
-  Heft.Insertion.to_schedule state
+let critical_path = Components.critical_path
+
+let spec =
+  {
+    List_scheduler.ranking = Components.Rank_updown `Mean;
+    selection = Components.Select_cp_pin;
+    insertion = Components.Insert;
+    tie = Components.Tie_ready;
+  }
+
+let schedule graph platform = List_scheduler.run spec graph platform

@@ -11,3 +11,7 @@ val critical_path : Dag.Graph.t -> Platform.t -> Dag.Graph.task list
 (** The critical path under averaged costs, entry to exit. *)
 
 val schedule : Dag.Graph.t -> Platform.t -> Schedule.t
+
+val spec : List_scheduler.spec
+(** CPOP as a composition: upward+downward rank, critical-path pinning,
+    insertion placement. *)

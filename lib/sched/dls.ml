@@ -1,65 +1,15 @@
-let median row =
-  let a = Array.copy row in
-  Array.sort Float.compare a;
-  let n = Array.length a in
-  if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.
+(* DLS (Sih & Lee 1993) as a framework instance: median static level,
+   joint (task, processor) dynamic-level maximization, append-only
+   placement. *)
 
-let static_levels graph platform =
-  let m = Platform.n_procs platform in
-  let w =
-    {
-      Dag.Levels.task =
-        (fun v -> median (Array.init m (fun p -> Platform.etc platform ~task:v ~proc:p)));
-      edge = (fun _ _ -> 0.);
-    }
-  in
-  Dag.Levels.bottom_levels graph w
+let static_levels = Components.static_levels
 
-let schedule graph platform =
-  let n = Dag.Graph.n_tasks graph in
-  let m = Platform.n_procs platform in
-  let sl = static_levels graph platform in
-  let remaining_preds = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
-  let ready = ref [] in
-  Array.iteri (fun v d -> if d = 0 then ready := v :: !ready) remaining_preds;
-  let proc_avail = Array.make m 0. in
-  let finish = Array.make n 0. in
-  let proc_of = Array.make n (-1) in
-  let picks = ref [] in
-  let mean_etc v = Platform.mean_etc platform ~task:v in
-  let data_ready t p =
-    Array.fold_left
-      (fun acc (pred, volume) ->
-        Float.max acc
-          (finish.(pred) +. Platform.comm_time platform ~src:proc_of.(pred) ~dst:p ~volume))
-      0. (Dag.Graph.preds graph t)
-  in
-  for _ = 1 to n do
-    (* best (ready task, processor) pair by dynamic level *)
-    let best = ref None in
-    List.iter
-      (fun t ->
-        for p = 0 to m - 1 do
-          let start = Float.max (data_ready t p) proc_avail.(p) in
-          let dl = sl.(t) -. start +. (mean_etc t -. Platform.etc platform ~task:t ~proc:p) in
-          match !best with
-          | Some (_, _, best_dl) when best_dl >= dl -> ()
-          | _ -> best := Some (t, p, dl)
-        done)
-      !ready;
-    match !best with
-    | None -> assert false
-    | Some (t, p, _) ->
-      let start = Float.max (data_ready t p) proc_avail.(p) in
-      proc_of.(t) <- p;
-      finish.(t) <- start +. Platform.etc platform ~task:t ~proc:p;
-      proc_avail.(p) <- finish.(t);
-      picks := (t, p) :: !picks;
-      ready := List.filter (fun v -> v <> t) !ready;
-      Array.iter
-        (fun (s, _) ->
-          remaining_preds.(s) <- remaining_preds.(s) - 1;
-          if remaining_preds.(s) = 0 then ready := s :: !ready)
-        (Dag.Graph.succs graph t)
-  done;
-  Schedule.of_assignment_sequence ~graph ~n_procs:m (List.rev !picks)
+let spec =
+  {
+    List_scheduler.ranking = Components.Rank_static_level;
+    selection = Components.Select_dl;
+    insertion = Components.Append;
+    tie = Components.Tie_ready;
+  }
+
+let schedule graph platform = List_scheduler.run spec graph platform

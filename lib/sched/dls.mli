@@ -12,3 +12,7 @@
 val static_levels : Dag.Graph.t -> Platform.t -> float array
 
 val schedule : Dag.Graph.t -> Platform.t -> Schedule.t
+
+val spec : List_scheduler.spec
+(** DLS as a composition: median static level, joint dynamic-level
+    maximization, append placement. *)

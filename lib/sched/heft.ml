@@ -1,122 +1,23 @@
-type rank_policy = [ `Mean | `Best | `Worst ]
+(* HEFT (Topcuoglu et al. 2002) as a framework instance: upward rank
+   under the chosen cost collapse, EFT processor selection, insertion-
+   based placement. The legacy static-list formulation is equivalent to
+   the ready-queue driver with lower-id tie-breaks: upward rank strictly
+   decreases along edges, so the highest-ranked unscheduled task is
+   always ready. *)
 
-let average_weights ?(rank = `Mean) graph platform =
-  let mean_tau = Platform.mean_tau platform in
-  let mean_latency = Platform.mean_latency platform in
-  let m = Platform.n_procs platform in
-  let collapse v =
-    let row = Array.init m (fun p -> Platform.etc platform ~task:v ~proc:p) in
-    match rank with
-    | `Mean -> Array.fold_left ( +. ) 0. row /. float_of_int m
-    | `Best -> Array.fold_left Float.min row.(0) row
-    | `Worst -> Array.fold_left Float.max row.(0) row
-  in
-  let edge u v =
-    match Dag.Graph.volume graph ~src:u ~dst:v with
-    | Some volume -> mean_latency +. (volume *. mean_tau)
-    | None -> 0.
-  in
-  { Dag.Levels.task = collapse; edge }
+type rank_policy = Components.collapse
 
-let upward_ranks ?rank graph platform =
-  Dag.Levels.bottom_levels graph (average_weights ?rank graph platform)
+let average_weights = Components.average_weights
+let upward_ranks = Components.upward_ranks
+let rank_order = Components.rank_order
 
-let rank_order ?rank graph platform =
-  let ranks = upward_ranks ?rank graph platform in
-  let tasks = Array.init (Dag.Graph.n_tasks graph) (fun i -> i) in
-  Array.sort
-    (fun a b ->
-      match Float.compare ranks.(b) ranks.(a) with 0 -> Int.compare a b | c -> c)
-    tasks;
-  tasks
-
-module Insertion = struct
-  type slot = { s_start : float; s_finish : float; s_task : int }
-
-  type t = {
-    graph : Dag.Graph.t;
-    platform : Platform.t;
-    mutable slots : slot list array; (* per proc, sorted by start *)
-    placed_proc : int array; (* -1 = not placed *)
-    placed_finish : float array;
+let spec ?(rank = `Mean) () =
+  {
+    List_scheduler.ranking = Components.Rank_upward rank;
+    selection = Components.Select_eft;
+    insertion = Components.Insert;
+    tie = Components.Tie_id;
   }
 
-  let create graph platform =
-    let n = Dag.Graph.n_tasks graph in
-    {
-      graph;
-      platform;
-      slots = Array.make (Platform.n_procs platform) [];
-      placed_proc = Array.make n (-1);
-      placed_finish = Array.make n 0.;
-    }
-
-  let ready_time t ~task ~proc =
-    let acc = ref 0. in
-    Array.iter
-      (fun (p, volume) ->
-        if t.placed_proc.(p) = -1 then
-          invalid_arg "Heft.Insertion: predecessor not placed yet";
-        let arrival =
-          t.placed_finish.(p)
-          +. Platform.comm_time t.platform ~src:t.placed_proc.(p) ~dst:proc ~volume
-        in
-        if arrival > !acc then acc := arrival)
-      (Dag.Graph.preds t.graph task);
-    !acc
-
-  (* earliest gap of length [dur] starting no earlier than [ready] *)
-  let find_slot slots ~ready ~dur =
-    let rec scan candidate = function
-      | [] -> candidate
-      | { s_start; s_finish; _ } :: rest ->
-        if candidate +. dur <= s_start then candidate
-        else scan (Float.max candidate s_finish) rest
-    in
-    scan ready slots
-
-  let eft t ~task ~proc =
-    let ready = ready_time t ~task ~proc in
-    let dur = Platform.etc t.platform ~task ~proc in
-    let start = find_slot t.slots.(proc) ~ready ~dur in
-    (start, start +. dur)
-
-  let place t ~task ~proc =
-    if t.placed_proc.(task) <> -1 then invalid_arg "Heft.Insertion: task already placed";
-    let start, finish = eft t ~task ~proc in
-    t.placed_proc.(task) <- proc;
-    t.placed_finish.(task) <- finish;
-    let rec insert = function
-      | [] -> [ { s_start = start; s_finish = finish; s_task = task } ]
-      | slot :: rest when slot.s_start < start -> slot :: insert rest
-      | slots -> { s_start = start; s_finish = finish; s_task = task } :: slots
-    in
-    t.slots.(proc) <- insert t.slots.(proc)
-
-  let to_schedule t =
-    let n = Dag.Graph.n_tasks t.graph in
-    for v = 0 to n - 1 do
-      if t.placed_proc.(v) = -1 then
-        invalid_arg (Printf.sprintf "Heft.Insertion.to_schedule: task %d not placed" v)
-    done;
-    let order = Array.map (fun slots -> Array.of_list (List.map (fun s -> s.s_task) slots)) t.slots in
-    Schedule.make ~graph:t.graph ~n_procs:(Platform.n_procs t.platform)
-      ~proc_of:(Array.copy t.placed_proc) ~order
-end
-
-let schedule ?rank graph platform =
-  let state = Insertion.create graph platform in
-  let m = Platform.n_procs platform in
-  Array.iter
-    (fun task ->
-      let best_proc = ref 0 and best_finish = ref infinity in
-      for proc = 0 to m - 1 do
-        let _, finish = Insertion.eft state ~task ~proc in
-        if finish < !best_finish then begin
-          best_finish := finish;
-          best_proc := proc
-        end
-      done;
-      Insertion.place state ~task ~proc:!best_proc)
-    (rank_order ?rank graph platform);
-  Insertion.to_schedule state
+let schedule ?(rank = `Mean) graph platform =
+  List_scheduler.run (spec ~rank ()) graph platform

@@ -31,23 +31,6 @@ val rank_order : ?rank:rank_policy -> Dag.Graph.t -> Platform.t -> Dag.Graph.tas
 val schedule : ?rank:rank_policy -> Dag.Graph.t -> Platform.t -> Schedule.t
 (** The HEFT schedule. *)
 
-(** Insertion-based earliest-finish-time machinery, shared with CPOP. *)
-module Insertion : sig
-  type t
-
-  val create : Dag.Graph.t -> Platform.t -> t
-
-  val ready_time : t -> task:Dag.Graph.task -> proc:Platform.proc -> float
-  (** Data-ready time of [task] on [proc] given already-placed
-      predecessors. *)
-
-  val eft : t -> task:Dag.Graph.task -> proc:Platform.proc -> float * float
-  (** [(start, finish)] of the earliest (possibly inserted) slot. *)
-
-  val place : t -> task:Dag.Graph.task -> proc:Platform.proc -> unit
-  (** Commit [task] to its earliest slot on [proc]. *)
-
-  val to_schedule : t -> Schedule.t
-  (** Schedule with per-processor orders sorted by placed start times;
-      fails if some task was never placed. *)
-end
+val spec : ?rank:rank_policy -> unit -> List_scheduler.spec
+(** HEFT as a composition: upward rank under [rank], EFT selection,
+    insertion placement, lower-id tie-breaks. *)

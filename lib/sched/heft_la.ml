@@ -1,0 +1,14 @@
+(* HEFT-LA: HEFT with one-step lookahead processor selection. A
+   candidate placement is scored by its own finish time plus the sum of
+   the predicted earliest finish of each child under the tentative
+   placement (unplaced co-parents optimistically ignored). *)
+
+let spec =
+  {
+    List_scheduler.ranking = Components.Rank_upward `Mean;
+    selection = Components.Select_lookahead;
+    insertion = Components.Insert;
+    tie = Components.Tie_id;
+  }
+
+let schedule graph platform = List_scheduler.run spec graph platform

@@ -1,0 +1,17 @@
+(* IHEFT: heterogeneity-weighted upward rank (mean + std task cost) and
+   a seeded stochastic cross-over between the global-EFT processor and
+   the task's locally fastest processor. Deterministic for a fixed seed;
+   see {!Components.Select_crossover} for the threshold rule. *)
+
+let default_seed = 1L
+
+let spec ?(seed = default_seed) () =
+  {
+    List_scheduler.ranking = Components.Rank_het_upward;
+    selection = Components.Select_crossover seed;
+    insertion = Components.Insert;
+    tie = Components.Tie_id;
+  }
+
+let schedule ?(seed = default_seed) graph platform =
+  List_scheduler.run (spec ~seed ()) graph platform

@@ -1,0 +1,281 @@
+(* Generic list-scheduling core: every composition of a ranking, a
+   processor-selection rule and an insertion/tie-break policy is one
+   scheduler (DESIGN.md §13). HEFT, CPOP, DLS, BIL, PEFT, HEFT-LA and
+   IHEFT are the named instances in {!Registry}.
+
+   The driver is the classic event-driven loop: keep the set of ready
+   tasks (all predecessors placed), repeatedly ask the selection
+   component for a (task, processor) pick, place it, release newly ready
+   successors. Ready-list bookkeeping mirrors the textbook formulation —
+   newly released tasks are pushed in successor order — so compositions
+   reproduce the legacy implementations bit for bit. *)
+
+open Components
+
+type spec = {
+  ranking : ranking;
+  selection : selection;
+  insertion : insertion;
+  tie : tie;
+}
+
+let spec_name spec =
+  Printf.sprintf "rank=%s,select=%s,insert=%s,tie=%s"
+    (ranking_name spec.ranking)
+    (selection_name spec.selection)
+    (insertion_name spec.insertion)
+    (tie_name spec.tie)
+
+(* Static tables computed once per run, before the placement loop. *)
+type info = {
+  priority : float array;
+  bil_levels : float array array; (* [||] unless used *)
+  oct : float array array; (* [||] unless used *)
+  on_cp : bool array; (* [||] unless Select_cp_pin *)
+  cp_proc : int;
+}
+
+let prepare spec graph platform =
+  let n = Dag.Graph.n_tasks graph in
+  let m = Platform.n_procs platform in
+  let priority, bil_levels, oct =
+    match spec.ranking with
+    | Rank_upward c -> (upward_ranks ~rank:c graph platform, [||], [||])
+    | Rank_updown c ->
+      let ru = upward_ranks ~rank:c graph platform in
+      let rd = downward_ranks ~rank:c graph platform in
+      (Array.init n (fun v -> ru.(v) +. rd.(v)), [||], [||])
+    | Rank_static_level -> (static_levels graph platform, [||], [||])
+    | Rank_bil ->
+      let levels = bil_table graph platform in
+      (* static fallback priority for non-BIM selectors: the level on
+         the task's best processor *)
+      let best v = Array.fold_left Float.min levels.(v).(0) levels.(v) in
+      (Array.init n best, levels, [||])
+    | Rank_oct ->
+      let oct = oct_table graph platform in
+      let avg v = Array.fold_left ( +. ) 0. oct.(v) /. float_of_int m in
+      (Array.init n avg, [||], oct)
+    | Rank_het_upward -> (heterogeneity_ranks graph platform, [||], [||])
+  in
+  let on_cp, cp_proc =
+    match spec.selection with
+    | Select_cp_pin ->
+      let cp = critical_path graph platform in
+      let on_cp = Array.make n false in
+      List.iter (fun t -> on_cp.(t) <- true) cp;
+      let best = ref 0 and best_cost = ref infinity in
+      for p = 0 to m - 1 do
+        let cost =
+          List.fold_left (fun acc t -> acc +. Platform.etc platform ~task:t ~proc:p) 0. cp
+        in
+        if cost < !best_cost then begin
+          best_cost := cost;
+          best := p
+        end
+      done;
+      (on_cp, !best)
+    | _ -> ([||], 0)
+  in
+  { priority; bil_levels; oct; on_cp; cp_proc }
+
+(* ready-task argmax under the tie policy (non-joint selectors) *)
+let pick_task tie (info : info) ready =
+  let prio = info.priority in
+  match ready with
+  | [] -> invalid_arg "List_scheduler: empty ready list"
+  | first :: rest -> (
+    match tie with
+    | Tie_ready ->
+      List.fold_left (fun best c -> if prio.(c) > prio.(best) then c else best) first rest
+    | Tie_id ->
+      List.fold_left
+        (fun best c ->
+          if prio.(c) > prio.(best) || (prio.(c) = prio.(best) && c < best) then c
+          else best)
+        first rest
+    | Tie_seeded seed ->
+      let hash v = Prng.Splitmix.(next (create (Int64.add seed (Int64.of_int v)))) in
+      List.fold_left
+        (fun best c ->
+          if
+            prio.(c) > prio.(best)
+            || (prio.(c) = prio.(best) && Int64.unsigned_compare (hash c) (hash best) < 0)
+          then c
+          else best)
+        first rest)
+
+(* min-EFT processor, ties to the lower index *)
+let eft_proc state ~insert ~task m =
+  let best_proc = ref 0 and best_finish = ref infinity in
+  for proc = 0 to m - 1 do
+    let _, finish = State.candidate state ~insert ~task ~proc in
+    if finish < !best_finish then begin
+      best_finish := finish;
+      best_proc := proc
+    end
+  done;
+  !best_proc
+
+let select spec (info : info) state rng ready =
+  let graph = state.State.graph and platform = state.State.platform in
+  let m = Platform.n_procs platform in
+  let insert = spec.insertion = Insert in
+  match spec.selection with
+  | Select_eft ->
+    let t = pick_task spec.tie info ready in
+    (t, eft_proc state ~insert ~task:t m)
+  | Select_cp_pin ->
+    let t = pick_task spec.tie info ready in
+    let p = if info.on_cp.(t) then info.cp_proc else eft_proc state ~insert ~task:t m in
+    (t, p)
+  | Select_oeft ->
+    let t = pick_task spec.tie info ready in
+    let oct = info.oct in
+    let best_proc = ref 0 and best_score = ref infinity in
+    for proc = 0 to m - 1 do
+      let _, finish = State.candidate state ~insert ~task:t ~proc in
+      let score = finish +. oct.(t).(proc) in
+      if score < !best_score then begin
+        best_score := score;
+        best_proc := proc
+      end
+    done;
+    (t, !best_proc)
+  | Select_lookahead ->
+    (* score(p) = EFT(t, p) + Σ over children of the predicted earliest
+       child finish with t tentatively on p (unplaced co-parents are
+       optimistically ignored) *)
+    let t = pick_task spec.tie info ready in
+    let succs = Dag.Graph.succs graph t in
+    let best_proc = ref 0 and best_score = ref infinity in
+    for proc = 0 to m - 1 do
+      let score =
+        State.with_tentative state ~insert ~task:t ~proc (fun () ->
+            let finish = State.finish_of state t in
+            Array.fold_left
+              (fun acc (c, _) ->
+                let best_child = ref infinity in
+                for q = 0 to m - 1 do
+                  let _, f =
+                    if insert then
+                      State.eft ~ready_time:State.ready_time_partial state ~task:c ~proc:q
+                    else
+                      State.append_finish ~ready_time:State.ready_time_partial state
+                        ~task:c ~proc:q
+                  in
+                  if f < !best_child then best_child := f
+                done;
+                acc +. !best_child)
+              finish succs)
+      in
+      if score < !best_score then begin
+        best_score := score;
+        best_proc := proc
+      end
+    done;
+    (t, !best_proc)
+  | Select_crossover _ ->
+    (* IHEFT cross-over: let p_g minimize EFT and p_l be the locally
+       fastest processor. When they disagree, take p_l with probability
+       θ / (1 + Δ) where Δ = (EFT(p_l) − EFT(p_g)) / EFT(p_g) is the
+       relative finish-time penalty and θ the fraction of tasks still
+       unscheduled — exploration decays as the schedule fills and as the
+       penalty grows. One RNG draw per disagreement, so runs are
+       bit-reproducible for a fixed seed. *)
+    let t = pick_task spec.tie info ready in
+    let finishes =
+      Array.init m (fun proc -> snd (State.candidate state ~insert ~task:t ~proc))
+    in
+    let p_g = ref 0 in
+    for p = 1 to m - 1 do
+      if finishes.(p) < finishes.(!p_g) then p_g := p
+    done;
+    let p_l = Platform.best_proc platform ~task:t in
+    let p =
+      if p_l = !p_g then !p_g
+      else begin
+        let n = float_of_int (Dag.Graph.n_tasks graph) in
+        let theta = (n -. float_of_int (State.n_placed state)) /. n in
+        let delta = (finishes.(p_l) -. finishes.(!p_g)) /. finishes.(!p_g) in
+        let u = Prng.Splitmix.next_float rng in
+        if u < theta /. (1. +. delta) then p_l else !p_g
+      end
+    in
+    (t, p)
+  | Select_dl ->
+    (* joint (task, proc) maximization of the dynamic level
+       DL(t, p) = SL(t) − start(t, p) + (mean_etc(t) − etc(t, p)) *)
+    let best = ref None in
+    List.iter
+      (fun t ->
+        for p = 0 to m - 1 do
+          let start, _ = State.candidate state ~insert ~task:t ~proc:p in
+          let dl =
+            info.priority.(t) -. start
+            +. (Platform.mean_etc platform ~task:t -. Platform.etc platform ~task:t ~proc:p)
+          in
+          match !best with
+          | Some (_, _, best_dl) when best_dl >= dl -> ()
+          | _ -> best := Some (t, p, dl)
+        done)
+      ready;
+    (match !best with None -> invalid_arg "List_scheduler: empty ready list"
+    | Some (t, p, _) -> (t, p))
+  | Select_bim ->
+    (* BIM* rows for every ready task; priority is the k-th smallest
+       entry with k = ⌈r/m⌉ capped at m, the processor the row argmin *)
+    let r = List.length ready in
+    let rows =
+      List.map
+        (fun t ->
+          ( t,
+            Array.init m (fun p ->
+                let start, _ = State.candidate state ~insert ~task:t ~proc:p in
+                start +. info.bil_levels.(t).(p)) ))
+        ready
+    in
+    let k = Int.min m ((r + m - 1) / m) in
+    let priority row =
+      let sorted = Array.copy row in
+      Array.sort Float.compare sorted;
+      sorted.(k - 1)
+    in
+    let best_task, best_row =
+      match rows with
+      | [] -> invalid_arg "List_scheduler: empty ready list"
+      | first :: rest ->
+        List.fold_left
+          (fun ((_, brow) as best) ((_, row) as cand) ->
+            if priority row > priority brow then cand else best)
+          first rest
+    in
+    let best_proc = ref 0 in
+    for p = 1 to m - 1 do
+      if best_row.(p) < best_row.(!best_proc) then best_proc := p
+    done;
+    (best_task, !best_proc)
+
+let run spec graph platform =
+  let n = Dag.Graph.n_tasks graph in
+  let info = prepare spec graph platform in
+  let rng =
+    match spec.selection with
+    | Select_crossover seed -> Prng.Splitmix.create seed
+    | _ -> Prng.Splitmix.create 0L
+  in
+  let state = State.create graph platform in
+  let remaining_preds = Array.init n (fun v -> Array.length (Dag.Graph.preds graph v)) in
+  let ready = ref [] in
+  Array.iteri (fun v d -> if d = 0 then ready := v :: !ready) remaining_preds;
+  for _ = 1 to n do
+    let t, p = select spec info state rng !ready in
+    State.place state ~insert:(spec.insertion = Insert) ~task:t ~proc:p;
+    ready := List.filter (fun v -> v <> t) !ready;
+    Array.iter
+      (fun (s, _) ->
+        remaining_preds.(s) <- remaining_preds.(s) - 1;
+        if remaining_preds.(s) = 0 then ready := s :: !ready)
+      (Dag.Graph.succs graph t)
+  done;
+  State.to_schedule state

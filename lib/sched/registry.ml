@@ -1,0 +1,217 @@
+(* Name → scheduler table consumed by experiments, the CLI and the
+   service. Every entry carries its component decomposition (for
+   `repro sched --list`) and provenance. Beyond the named entries,
+   {!parse} accepts ad-hoc compositions:
+
+     rank=R,select=S[,insert=I][,tie=T]
+
+   with R ∈ upward[:mean|best|worst] | updown[:...] | static-level |
+   bil | oct | het-upward, S ∈ eft | cp-pin | dl | bim | oeft |
+   lookahead | crossover[:SEED], I ∈ insertion | append, and
+   T ∈ id | ready | seeded:SEED. *)
+
+type entry = {
+  name : string;
+  aliases : string list;
+  rank : string;
+  select : string;
+  insert : string;
+  provenance : string;
+  run : Dag.Graph.t -> Platform.t -> Schedule.t;
+}
+
+let of_spec ~name ~aliases ~provenance spec =
+  {
+    name;
+    aliases;
+    rank = Components.ranking_name spec.List_scheduler.ranking;
+    select = Components.selection_name spec.List_scheduler.selection;
+    insert = Components.insertion_name spec.List_scheduler.insertion;
+    provenance;
+    run = List_scheduler.run spec;
+  }
+
+let entries =
+  [
+    of_spec ~name:"HEFT" ~aliases:[ "heft" ]
+      ~provenance:"Topcuoglu et al. 2002" (Heft.spec ());
+    of_spec ~name:"CPOP" ~aliases:[ "cpop" ] ~provenance:"Topcuoglu et al. 2002"
+      Cpop.spec;
+    of_spec ~name:"DLS" ~aliases:[ "dls" ] ~provenance:"Sih & Lee 1993" Dls.spec;
+    of_spec ~name:"BIL" ~aliases:[ "bil" ] ~provenance:"Oh & Ha 1996" Bil.spec;
+    {
+      name = "Hyb.BMCT";
+      aliases = [ "hyb.bmct"; "bmct"; "BMCT" ];
+      rank = "upward:mean";
+      select = "group-migration";
+      insert = "append";
+      provenance = "Sakellariou & Zhao 2004";
+      run = Bmct.schedule;
+    };
+    of_spec ~name:"PEFT" ~aliases:[ "peft" ] ~provenance:"Arabnejad & Barbosa 2014"
+      Peft.spec;
+    of_spec ~name:"HEFT-LA" ~aliases:[ "heft-la"; "heftla" ]
+      ~provenance:"Bittencourt et al. 2010" Heft_la.spec;
+    of_spec ~name:"IHEFT"
+      ~aliases:[ "iheft" ]
+      ~provenance:"stochastic EFT/local-fastest cross-over"
+      (Iheft.spec ());
+  ]
+
+let names () = List.map (fun e -> e.name) entries
+
+let find name =
+  List.find_opt (fun e -> e.name = name || List.mem name e.aliases) entries
+
+(* ---------------- ad-hoc composition grammar ---------------- *)
+
+let parse_collapse = function
+  | "mean" -> Ok `Mean
+  | "best" -> Ok `Best
+  | "worst" -> Ok `Worst
+  | c -> Error (Printf.sprintf "unknown cost collapse %S (mean|best|worst)" c)
+
+let parse_seed ~what s =
+  match Int64.of_string_opt s with
+  | Some seed -> Ok seed
+  | None -> Error (Printf.sprintf "invalid %s seed %S" what s)
+
+let parse_ranking s =
+  let base, arg =
+    match String.index_opt s ':' with
+    | Some i ->
+      (String.sub s 0 i, Some (String.sub s (i + 1) (String.length s - i - 1)))
+    | None -> (s, None)
+  in
+  let with_collapse make =
+    match arg with
+    | None -> Ok (make `Mean)
+    | Some c -> Result.map make (parse_collapse c)
+  in
+  match base with
+  | "upward" -> with_collapse (fun c -> Components.Rank_upward c)
+  | "updown" -> with_collapse (fun c -> Components.Rank_updown c)
+  | "static-level" -> Ok Components.Rank_static_level
+  | "bil" -> Ok Components.Rank_bil
+  | "oct" -> Ok Components.Rank_oct
+  | "het-upward" -> Ok Components.Rank_het_upward
+  | _ ->
+    Error
+      (Printf.sprintf
+         "unknown ranking %S (upward[:C]|updown[:C]|static-level|bil|oct|het-upward)" s)
+
+let parse_selection s =
+  match s with
+  | "eft" -> Ok Components.Select_eft
+  | "cp-pin" -> Ok Components.Select_cp_pin
+  | "dl" -> Ok Components.Select_dl
+  | "bim" -> Ok Components.Select_bim
+  | "oeft" -> Ok Components.Select_oeft
+  | "lookahead" -> Ok Components.Select_lookahead
+  | "crossover" -> Ok (Components.Select_crossover Iheft.default_seed)
+  | _ ->
+    if String.length s > 10 && String.sub s 0 10 = "crossover:" then
+      Result.map
+        (fun seed -> Components.Select_crossover seed)
+        (parse_seed ~what:"crossover" (String.sub s 10 (String.length s - 10)))
+    else
+      Error
+        (Printf.sprintf
+           "unknown selection %S (eft|cp-pin|dl|bim|oeft|lookahead|crossover[:SEED])" s)
+
+let parse_insertion = function
+  | "insertion" | "insert" -> Ok Components.Insert
+  | "append" -> Ok Components.Append
+  | s -> Error (Printf.sprintf "unknown insertion policy %S (insertion|append)" s)
+
+let parse_tie s =
+  match s with
+  | "id" -> Ok Components.Tie_id
+  | "ready" -> Ok Components.Tie_ready
+  | _ ->
+    if String.length s > 7 && String.sub s 0 7 = "seeded:" then
+      Result.map
+        (fun seed -> Components.Tie_seeded seed)
+        (parse_seed ~what:"tie-break" (String.sub s 7 (String.length s - 7)))
+    else Error (Printf.sprintf "unknown tie policy %S (id|ready|seeded:SEED)" s)
+
+(* The selection components that need a specific auxiliary ranking table
+   get it implied when rank= is omitted. *)
+let default_ranking = function
+  | Components.Select_bim -> Components.Rank_bil
+  | Components.Select_oeft -> Components.Rank_oct
+  | Components.Select_cp_pin -> Components.Rank_updown `Mean
+  | Components.Select_dl -> Components.Rank_static_level
+  | _ -> Components.Rank_upward `Mean
+
+let compatible ranking selection =
+  match selection with
+  | Components.Select_bim when ranking <> Components.Rank_bil ->
+    Error "select=bim requires rank=bil (the BIM* rows need the BIL level table)"
+  | Components.Select_oeft when ranking <> Components.Rank_oct ->
+    Error "select=oeft requires rank=oct (the optimistic cost table)"
+  | _ -> Ok ()
+
+let parse_combo s =
+  (* ';' is accepted as a component separator so compositions can live
+     inside comma-separated CLI lists *)
+  let kvs = String.split_on_char ',' (String.map (fun c -> if c = ';' then ',' else c) s) in
+  let ( let* ) = Result.bind in
+  let* fields =
+    List.fold_left
+      (fun acc kv ->
+        let* acc = acc in
+        match String.index_opt kv '=' with
+        | None -> Error (Printf.sprintf "malformed component %S (expected key=value)" kv)
+        | Some i ->
+          let k = String.sub kv 0 i
+          and v = String.sub kv (i + 1) (String.length kv - i - 1) in
+          if List.mem_assoc k acc then Error (Printf.sprintf "duplicate component %S" k)
+          else Ok ((k, v) :: acc))
+      (Ok []) kvs
+  in
+  let* () =
+    List.fold_left
+      (fun acc (k, _) ->
+        let* () = acc in
+        if List.mem k [ "rank"; "select"; "insert"; "tie" ] then Ok ()
+        else Error (Printf.sprintf "unknown component %S (rank|select|insert|tie)" k))
+      (Ok ()) fields
+  in
+  let* selection =
+    match List.assoc_opt "select" fields with
+    | None -> Error "missing select= component"
+    | Some v -> parse_selection v
+  in
+  let* ranking =
+    match List.assoc_opt "rank" fields with
+    | None -> Ok (default_ranking selection)
+    | Some v -> parse_ranking v
+  in
+  let* () = compatible ranking selection in
+  let* insertion =
+    match List.assoc_opt "insert" fields with
+    | None -> Ok Components.Insert
+    | Some v -> parse_insertion v
+  in
+  let* tie =
+    match List.assoc_opt "tie" fields with
+    | None -> Ok Components.Tie_id
+    | Some v -> parse_tie v
+  in
+  let spec = { List_scheduler.ranking; selection; insertion; tie } in
+  Ok
+    (of_spec ~name:(List_scheduler.spec_name spec) ~aliases:[]
+       ~provenance:"ad-hoc composition" spec)
+
+(* Resolve a scheduler name: a registry entry (canonical name or alias)
+   or a rank=...,select=... composition. *)
+let parse name =
+  match find name with
+  | Some e -> Ok e
+  | None ->
+    if String.contains name '=' then parse_combo name
+    else
+      Error
+        (Printf.sprintf "unknown scheduler %S (known: %s, or rank=...,select=...)" name
+           (String.concat ", " (names ())))

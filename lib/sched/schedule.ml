@@ -81,6 +81,40 @@ let of_assignment_sequence ~graph ~n_procs picks =
   let order = Array.map (fun l -> Array.of_list (List.rev l)) rev_orders in
   make ~graph ~n_procs ~proc_of ~order
 
+(* Re-check the representation invariants of an already-built value:
+   every task assigned exactly once, each order row consistent with
+   proc_of (per-processor exclusivity), and precedence respected (the
+   eager execution exists). [make] enforces all of this at construction;
+   [validate] guards against later internal mutation and gives test
+   helpers a single oracle. *)
+let validate t =
+  try
+    let n = Dag.Graph.n_tasks t.graph in
+    if Array.length t.proc_of <> n then invalid_arg "Schedule.validate: proc_of length";
+    if Array.length t.order <> t.n_procs then
+      invalid_arg "Schedule.validate: order must have one row per processor";
+    let seen = Array.make n false in
+    Array.iteri
+      (fun p tasks ->
+        Array.iteri
+          (fun i v ->
+            if v < 0 || v >= n then invalid_arg "Schedule.validate: task out of range";
+            if seen.(v) then invalid_arg "Schedule.validate: task scheduled twice";
+            seen.(v) <- true;
+            if t.proc_of.(v) <> p then
+              invalid_arg "Schedule.validate: order row disagrees with proc_of";
+            if t.pos_in_proc.(v) <> i then
+              invalid_arg "Schedule.validate: stale position index")
+          tasks)
+      t.order;
+    Array.iteri
+      (fun v s ->
+        if not s then invalid_arg (Printf.sprintf "Schedule.validate: task %d unscheduled" v))
+      seen;
+    check_acyclic t.graph t.order;
+    Ok ()
+  with Invalid_argument msg -> Error msg
+
 let proc_pred t v =
   let pos = t.pos_in_proc.(v) in
   if pos = 0 then None else Some t.order.(t.proc_of.(v)).(pos - 1)

@@ -28,6 +28,14 @@ val of_assignment_sequence :
     a list-scheduling trace: tasks in the order they were scheduled, each
     appended to its processor's order. *)
 
+val validate : t -> (unit, string) result
+(** Re-check the invariants of an already-built schedule: every task
+    assigned exactly once, per-processor exclusivity (order rows
+    partition the tasks consistently with [proc_of]), and precedence
+    respected (the eager execution exists). [Ok ()] for every value
+    produced by {!make}; exported as the single oracle for test
+    helpers. *)
+
 val proc_pred : t -> Dag.Graph.task -> Dag.Graph.task option
 (** The task executed immediately before on the same processor. *)
 

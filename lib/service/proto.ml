@@ -31,14 +31,16 @@ type job = {
   deadline_ms : int option;
 }
 
+(* Scheduler names are resolved through {!Sched.Registry}: every
+   registered heuristic plus rank=...,select=... compositions. Kept as
+   an assoc list for the wire-facing listing. *)
 let heuristics =
-  [
-    ("HEFT", fun g p -> Sched.Heft.schedule g p);
-    ("BIL", Sched.Bil.schedule);
-    ("Hyb.BMCT", Sched.Bmct.schedule);
-    ("CPOP", Sched.Cpop.schedule);
-    ("DLS", Sched.Dls.schedule);
-  ]
+  List.map (fun e -> (e.Sched.Registry.name, e.Sched.Registry.run)) Sched.Registry.entries
+
+let resolve_scheduler name =
+  match Sched.Registry.parse name with
+  | Ok e -> Ok e
+  | Error msg -> Error ("schedules[]: " ^ msg)
 
 (* Validation caps: a public endpoint must not let one request allocate
    the machine. Generous for the paper's regimes (n ≤ 103, 16 procs,
@@ -214,11 +216,9 @@ let backend_of_json j =
 let sched_spec_of_json j =
   match j with
   | Json.Str name ->
-    if List.mem_assoc name heuristics then Ok (Heuristic name)
-    else
-      Error
-        (Printf.sprintf "schedules[]: unknown heuristic %S (%s)" name
-           (String.concat "|" (List.map fst heuristics)))
+    (* canonicalize at parse time so aliases and compositions batch and
+       respond under one stable name *)
+    Result.map (fun e -> Heuristic e.Sched.Registry.name) (resolve_scheduler name)
   | Json.Obj _ -> (
     match Json.mem "random" j with
     | None -> Error "schedules[]: expected a heuristic name or {\"random\": {...}}"
@@ -452,7 +452,12 @@ let context_of_job job =
 let expand_schedules job graph platform =
   List.concat_map
     (function
-      | Heuristic name -> [ (name, (List.assoc name heuristics) graph platform) ]
+      | Heuristic name -> (
+        match Sched.Registry.parse name with
+        | Ok e -> [ (name, e.Sched.Registry.run graph platform) ]
+        | Error msg ->
+          (* unreachable: specs are canonicalized during decoding *)
+          invalid_arg ("Proto.expand_schedules: " ^ msg))
       | Random { count; seed } ->
         let rng = Prng.Xoshiro.create seed in
         let scheds =

@@ -42,7 +42,8 @@ type job = {
 }
 
 val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
-(** The five heuristics reachable over the wire. *)
+(** Every named {!Sched.Registry} entry, reachable over the wire by
+    canonical name, alias, or [rank=...,select=...] composition. *)
 
 val job_of_json : string -> (job, string) result
 (** Decode and validate one job body. Bounded: body size is capped by

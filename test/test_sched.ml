@@ -321,7 +321,9 @@ let random_schedules_distinct () =
 let heuristics =
   [ ("heft", fun g p -> Sched.Heft.schedule g p); ("bil", Sched.Bil.schedule);
     ("bmct", Sched.Bmct.schedule); ("cpop", Sched.Cpop.schedule);
-    ("dls", Sched.Dls.schedule) ]
+    ("dls", Sched.Dls.schedule); ("peft", Sched.Peft.schedule);
+    ("heft-la", Sched.Heft_la.schedule);
+    ("iheft", fun g p -> Sched.Iheft.schedule g p) ]
 
 let heuristics_produce_valid_schedules =
   Tutil.qcheck ~count:50 "heuristic schedules validate and simulate"
@@ -537,6 +539,270 @@ let gantt_renders () =
     (String.length out > 100
     && String.split_on_char '\n' out |> List.exists (fun l -> String.length l > 0))
 
+(* --- Golden equivalence: recomposed heuristics vs frozen legacy outputs --- *)
+
+(* The fixtures under golden/ were generated by the pre-refactor
+   monolithic implementations on these exact cases; the framework
+   recompositions must reproduce them byte for byte. *)
+let golden_cases =
+  let module E = Experiments in
+  [
+    ( "random30",
+      E.Case.make ~kind:E.Case.Random_graph ~n_target:30 ~n_procs:8 ~ul:1.1 ~seed:2L () );
+    ("chol30", E.Case.make ~kind:E.Case.Cholesky ~n_target:30 ~n_procs:3 ~ul:1.01 ~seed:1L ());
+    ("ge35", E.Case.make ~kind:E.Case.Gauss_elim ~n_target:35 ~n_procs:4 ~ul:1.1 ~seed:1L ());
+  ]
+
+let golden_heuristics =
+  [
+    ("heft", fun g p -> Sched.Heft.schedule g p);
+    ("heft-best", fun g p -> Sched.Heft.schedule ~rank:`Best g p);
+    ("heft-worst", fun g p -> Sched.Heft.schedule ~rank:`Worst g p);
+    ("cpop", Sched.Cpop.schedule);
+    ("dls", Sched.Dls.schedule);
+    ("bil", Sched.Bil.schedule);
+    ("bmct", Sched.Bmct.schedule);
+  ]
+
+(* dune runtest runs with cwd = test/; dune exec from the root *)
+let golden_dir () =
+  if Sys.file_exists "golden" then "golden" else Filename.concat "test" "golden"
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let golden_equivalence () =
+  List.iter
+    (fun (cname, case) ->
+      let inst = Experiments.Case.instantiate case in
+      List.iter
+        (fun (hname, h) ->
+          let label = hname ^ "__" ^ cname in
+          let s = h inst.Experiments.Case.graph inst.Experiments.Case.platform in
+          Tutil.check_valid ~msg:label s;
+          let expected = read_file (Filename.concat (golden_dir ()) (label ^ ".txt")) in
+          Alcotest.(check string) label expected (Sched.Schedule.to_string s))
+        golden_heuristics)
+    golden_cases
+
+(* --- New heuristics: PEFT, HEFT-LA, IHEFT --- *)
+
+let peft_oct_hand_computed () =
+  (* diamond, etc 10 everywhere, unit volumes, tau 2, latency 0 so the
+     averaged edge cost is 2. OCT(3,·) = 0; OCT(1,p) = OCT(2,p) =
+     min(0 + 10 + 0, 0 + 10 + 2) = 10; OCT(0,p) =
+     max over children of min(10 + 10 + 0, 10 + 10 + 2) = 20. *)
+  let g = diamond in
+  let p = two_proc_platform () in
+  let oct = Sched.Peft.oct g p in
+  for q = 0 to 1 do
+    check_close (Printf.sprintf "oct(3,%d)" q) 0. oct.(3).(q);
+    check_close (Printf.sprintf "oct(1,%d)" q) 10. oct.(1).(q);
+    check_close (Printf.sprintf "oct(2,%d)" q) 10. oct.(2).(q);
+    check_close (Printf.sprintf "oct(0,%d)" q) 20. oct.(0).(q)
+  done
+
+let peft_oct_zero_at_exits =
+  Tutil.qcheck ~count:50 "PEFT OCT is zero on exit tasks, positive upstream"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 23 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      let oct = Sched.Peft.oct g p in
+      let ok = ref true in
+      for v = 0 to Dag.Graph.n_tasks g - 1 do
+        let exit = Array.length (Dag.Graph.succs g v) = 0 in
+        Array.iter
+          (fun x ->
+            if exit then (if x <> 0. then ok := false)
+            else if x <= 0. then ok := false)
+          oct.(v)
+      done;
+      !ok)
+
+let new_heuristics_valid =
+  Tutil.qcheck ~count:50 "PEFT/HEFT-LA/IHEFT schedules validate and simulate"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 29 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      List.for_all
+        (fun (name, h) ->
+          let s = h g p in
+          Tutil.check_valid ~msg:name s;
+          (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+        [
+          ("peft", Sched.Peft.schedule);
+          ("heft-la", Sched.Heft_la.schedule);
+          ("iheft", fun g p -> Sched.Iheft.schedule g p);
+        ])
+
+(* IHEFT threshold rule on a hand-built two-task instance: task 1 is
+   heavy and homogeneous (ranked first, placed on p0); task 0 then sees
+   EFT 11 on p0 (blocked) vs 2.9 on p1, while its locally fastest
+   processor is p0 (etc 1 < 2.9). The cross-over takes p0 with
+   probability θ/(1+Δ) = 0.5/(1 + 8.1/2.9) ≈ 0.13. *)
+let iheft_crossover_graph () = Dag.Graph.make ~n:2 ~edges:[]
+
+let iheft_crossover_platform () =
+  Platform.make
+    ~etc:[| [| 1.; 2.9 |]; [| 10.; 10. |] |]
+    ~tau:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+    ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+
+let iheft_deterministic_per_seed () =
+  let g = iheft_crossover_graph () and p = iheft_crossover_platform () in
+  for seed = 1 to 5 do
+    let seed = Int64.of_int seed in
+    let a = Sched.Iheft.schedule ~seed g p in
+    let b = Sched.Iheft.schedule ~seed g p in
+    Alcotest.(check string)
+      (Printf.sprintf "seed %Ld reproducible" seed)
+      (Sched.Schedule.to_string a) (Sched.Schedule.to_string b)
+  done
+
+let iheft_threshold_rule_explores () =
+  let g = iheft_crossover_graph () and p = iheft_crossover_platform () in
+  (* heavy task always on p0; task 0 lands on p0 (local) for ~13% of
+     seeds and on p1 (global EFT) otherwise — both must occur *)
+  let local = ref 0 and global = ref 0 in
+  for seed = 0 to 199 do
+    let s = Sched.Iheft.schedule ~seed:(Int64.of_int seed) g p in
+    Alcotest.(check int) "heavy task pinned" 0 s.Sched.Schedule.proc_of.(1);
+    if s.Sched.Schedule.proc_of.(0) = 0 then incr local else incr global
+  done;
+  Alcotest.(check bool) "local branch taken" true (!local > 0);
+  Alcotest.(check bool) "global branch taken" true (!global > 0);
+  Alcotest.(check bool) "global branch dominates" true (!global > !local)
+
+let iheft_huge_penalty_never_crosses () =
+  (* p1 enormously slower for task 0: Δ explodes, the cross-over
+     probability collapses and every seed picks the global EFT proc *)
+  let g = iheft_crossover_graph () in
+  let p =
+    Platform.make
+      ~etc:[| [| 1.; 2.9 |]; [| 1000.; 1000. |] |]
+      ~tau:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+      ~latency:[| [| 0.; 0. |]; [| 0.; 0. |] |]
+  in
+  for seed = 0 to 49 do
+    let s = Sched.Iheft.schedule ~seed:(Int64.of_int seed) g p in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d picks global EFT" seed)
+      1 s.Sched.Schedule.proc_of.(0)
+  done
+
+(* --- Registry --- *)
+
+let registry_named_entries () =
+  let names = Sched.Registry.names () in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names);
+      match Sched.Registry.find n with
+      | Some e -> Alcotest.(check string) "canonical name" n e.Sched.Registry.name
+      | None -> Alcotest.failf "find %s failed" n)
+    [ "HEFT"; "CPOP"; "DLS"; "BIL"; "Hyb.BMCT"; "PEFT"; "HEFT-LA"; "IHEFT" ];
+  (match Sched.Registry.find "bmct" with
+  | Some e -> Alcotest.(check string) "alias resolves" "Hyb.BMCT" e.Sched.Registry.name
+  | None -> Alcotest.fail "alias bmct not found");
+  Alcotest.(check bool) "unknown is None" true (Sched.Registry.find "nope" = None)
+
+let registry_combo_matches_named () =
+  (* the ad-hoc composition equal to HEFT's spec must reproduce HEFT *)
+  let inst = Experiments.Case.instantiate (List.assoc "chol30" golden_cases) in
+  let g = inst.Experiments.Case.graph and p = inst.Experiments.Case.platform in
+  match Sched.Registry.parse "rank=upward:mean,select=eft,insert=insertion,tie=id" with
+  | Error e -> Alcotest.failf "combo rejected: %s" e
+  | Ok entry ->
+    Alcotest.(check string) "combo = HEFT"
+      (Sched.Schedule.to_string (Sched.Heft.schedule g p))
+      (Sched.Schedule.to_string (entry.Sched.Registry.run g p))
+
+let registry_rejects_malformed () =
+  let expect s =
+    match Sched.Registry.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  expect "nope";
+  expect "rank=upward";
+  expect "select=bogus";
+  expect "rank=bogus,select=eft";
+  expect "select=eft,rank=upward:meh";
+  expect "select=bim,rank=oct";
+  expect "select=oeft,rank=upward";
+  expect "select=eft,insert=maybe";
+  expect "select=eft,tie=seeded:xyz";
+  expect "select=eft,select=eft";
+  expect "select=eft,color=red"
+
+let registry_entries_all_valid =
+  Tutil.qcheck ~count:30 "every registry entry yields a valid schedule"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 31 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      List.for_all
+        (fun e ->
+          let s = e.Sched.Registry.run g p in
+          Tutil.check_valid ~msg:e.Sched.Registry.name s;
+          (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+        Sched.Registry.entries)
+
+let registry_combos_valid =
+  Tutil.qcheck ~count:20 "ad-hoc compositions yield valid schedules"
+    Tutil.random_dag_gen
+    (fun g ->
+      let rng = Tutil.rng_of_seed 37 in
+      let p =
+        Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks g) ~n_procs:3 ()
+      in
+      List.for_all
+        (fun combo ->
+          match Sched.Registry.parse combo with
+          | Error e -> Alcotest.failf "combo %S rejected: %s" combo e
+          | Ok entry ->
+            let s = entry.Sched.Registry.run g p in
+            Tutil.check_valid ~msg:combo s;
+            (Sched.Simulator.deterministic s p).Sched.Simulator.makespan > 0.)
+        [
+          "rank=upward:best,select=eft,insert=append";
+          "rank=static-level,select=eft";
+          "rank=oct,select=oeft,insert=append";
+          "rank=bil,select=bim,insert=insertion";
+          "rank=updown:worst,select=cp-pin";
+          "rank=het-upward,select=lookahead";
+          "select=crossover:7,tie=seeded:11";
+          "rank=upward,select=dl,insert=append,tie=ready";
+        ])
+
+(* --- Schedule.validate --- *)
+
+let validate_accepts_make_outputs () =
+  let s =
+    Sched.Schedule.make ~graph:diamond ~n_procs:2 ~proc_of:[| 0; 0; 1; 0 |]
+      ~order:[| [| 0; 1; 3 |]; [| 2 |] |]
+  in
+  (match Sched.Schedule.validate s with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "valid schedule rejected: %s" e);
+  List.iter
+    (fun (name, h) ->
+      let p = two_proc_platform () in
+      Tutil.check_valid ~msg:name (h diamond p))
+    heuristics
+
 let cpop_critical_path_is_path () =
   let g = diamond in
   let p = two_proc_platform () in
@@ -613,5 +879,27 @@ let () =
           tc "robust-heft kappa weights" `Quick robust_heft_weights_grow_with_kappa;
           tc "robust-heft kappa check" `Quick robust_heft_rejects_negative_kappa;
           tc "gantt" `Quick gantt_renders;
+        ] );
+      ( "golden",
+        [
+          tc "recomposed = legacy (21 fixtures)" `Quick golden_equivalence;
+          tc "validate accepts" `Quick validate_accepts_make_outputs;
+        ] );
+      ( "new_heuristics",
+        [
+          tc "peft oct hand computed" `Quick peft_oct_hand_computed;
+          peft_oct_zero_at_exits;
+          new_heuristics_valid;
+          tc "iheft reproducible" `Quick iheft_deterministic_per_seed;
+          tc "iheft threshold explores" `Quick iheft_threshold_rule_explores;
+          tc "iheft huge penalty" `Quick iheft_huge_penalty_never_crosses;
+        ] );
+      ( "registry",
+        [
+          tc "named entries" `Quick registry_named_entries;
+          tc "combo matches HEFT" `Quick registry_combo_matches_named;
+          tc "rejects malformed" `Quick registry_rejects_malformed;
+          registry_entries_all_valid;
+          registry_combos_valid;
         ] );
     ]

@@ -13,6 +13,12 @@ let qcheck ?(count = 100) name gen prop =
 
 let rng_of_seed seed = Prng.Xoshiro.create (Int64.of_int seed)
 
+(* Single validity oracle for schedules produced in tests. *)
+let check_valid ?(msg = "schedule") sched =
+  match Sched.Schedule.validate sched with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: invalid schedule: %s" msg e
+
 (* A random DAG generator for property tests: edge (i, j) with i < j
    present with probability [p]. *)
 let random_dag_gen =
@@ -43,4 +49,5 @@ let random_scheduled_gen =
     Platform.Gen.uniform_minval ~rng ~n_tasks:(Dag.Graph.n_tasks graph) ~n_procs ()
   in
   let sched = Sched.Random_sched.generate ~rng ~graph ~n_procs in
+  check_valid ~msg:"random_scheduled_gen" sched;
   return (graph, platform, sched)
