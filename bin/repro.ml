@@ -360,6 +360,7 @@ let eval_job workload n procs ul seed backend mc_count mc_seed schedules slack d
       delta;
       gamma;
       deadline_ms = None;
+      trace = None;
     }
 
 let run_eval job emit =
@@ -434,14 +435,24 @@ let serve_cmd =
       & info [ "grace" ] ~docv:"SEC"
           ~doc:"Drain grace: max seconds for queued jobs to finish on shutdown.")
   in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log one stderr line (trace id + stage list) for every request slower \
+             than $(docv) milliseconds.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the evaluation daemon: POST /eval (sync), POST /jobs + GET /jobs/:id \
-          (async), GET /healthz, GET /metrics. Same-case jobs are batched onto \
+          (async), GET /healthz, GET /metrics (JSON or OpenMetrics), GET \
+          /debug/requests (flight recorder). Same-case jobs are batched onto \
           shared engines. SIGINT/SIGTERM drains gracefully.")
     Term.(
-      const (fun host port queue conns grace ->
+      const (fun host port queue conns grace slow_ms ->
           Service.Server.serve_forever
             {
               Service.Server.default_config with
@@ -450,8 +461,9 @@ let serve_cmd =
               queue_capacity = queue;
               conn_domains = conns;
               drain_grace_s = grace;
+              slow_ms;
             })
-      $ host_arg $ port_arg 8123 $ queue_arg $ conns_arg $ grace_arg)
+      $ host_arg $ port_arg 8123 $ queue_arg $ conns_arg $ grace_arg $ slow_ms_arg)
 
 let loadgen_cmd =
   let concurrency_arg =
@@ -470,13 +482,59 @@ let loadgen_cmd =
       & opt string "BENCH_serve.json"
       & info [ "out" ] ~docv:"FILE" ~doc:"Report file (JSON).")
   in
+  let arrival_arg =
+    let parse s =
+      match String.lowercase_ascii s with
+      | "closed" -> Ok Service.Loadgen.Closed
+      | s -> (
+        match String.split_on_char ':' s with
+        | [ "poisson"; rate ] -> (
+          match float_of_string_opt rate with
+          | Some r when r > 0. -> Ok (Service.Loadgen.Poisson r)
+          | _ -> Error (`Msg (Printf.sprintf "bad poisson rate %S" rate)))
+        | _ -> Error (`Msg (Printf.sprintf "unknown arrival %S (closed|poisson:RATE)" s)))
+    in
+    let print fmt a =
+      Format.pp_print_string fmt
+        (match a with
+        | Service.Loadgen.Closed -> "closed"
+        | Service.Loadgen.Poisson r -> Printf.sprintf "poisson:%g" r)
+    in
+    Arg.(
+      value
+      & opt (conv (parse, print)) Service.Loadgen.Closed
+      & info [ "arrival" ] ~docv:"MODE"
+          ~doc:
+            "Arrival discipline: $(b,closed) (back-to-back) or $(b,poisson:RATE) \
+             (open loop at RATE req/s; latency measured from scheduled arrival, \
+             so backlog shows up as latency — no coordinated omission).")
+  in
+  let slo_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slo-ms" ] ~docv:"MS"
+          ~doc:
+            "Latency budget; the report gains slo_ms/slo_attained (errors count \
+             as misses).")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "After the load, send one traced request (traceparent header) and \
+             save its Chrome trace from /debug/requests to $(docv).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Closed-loop load generator against a running $(b,repro serve): reports \
-          throughput, client latency quantiles and the server's own counters.")
+         "Load generator against a running $(b,repro serve): closed-loop or \
+          open-loop Poisson arrivals; reports throughput, client latency \
+          quantiles, optional SLO attainment and the server's own counters.")
     Term.(
-      const (fun host port concurrency requests out ->
+      const (fun host port concurrency requests out arrival slo_ms trace_out ->
           let report =
             Service.Loadgen.run
               {
@@ -485,6 +543,9 @@ let loadgen_cmd =
                 concurrency;
                 requests;
                 job = Service.Loadgen.default_job ();
+                arrival;
+                slo_ms;
+                trace_out;
               }
           in
           print_string report;
@@ -492,7 +553,78 @@ let loadgen_cmd =
           output_string oc report;
           close_out oc;
           Printf.eprintf "[wrote %s]\n%!" out)
-      $ host_arg $ port_arg 8123 $ concurrency_arg $ requests_arg $ bench_out_arg)
+      $ host_arg $ port_arg 8123 $ concurrency_arg $ requests_arg $ bench_out_arg
+      $ arrival_arg $ slo_ms_arg $ trace_out_arg)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SEC" ~doc:"Seconds between frames.")
+  in
+  let iterations_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit (default: until killed).")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ] ~doc:"Render a single frame and exit.")
+  in
+  let plain_arg =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:"Append frames instead of clearing the screen (pipes, CI logs).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running $(b,repro serve): throughput, queue depth, \
+          engine-cache hit rate, per-stage latency p50/p99 (deltas between \
+          frames) and the most recent requests from the flight recorder.")
+    Term.(
+      const (fun host port interval iterations once plain ->
+          let iterations = if once then Some 1 else iterations in
+          match
+            Service.Top.run
+              { Service.Top.host; port; interval_s = interval; iterations; plain }
+          with
+          | Ok () -> ()
+          | Error e ->
+            prerr_endline ("repro top: " ^ e);
+            Stdlib.exit 1)
+      $ host_arg $ port_arg 8123 $ interval_arg $ iterations_arg $ once_arg
+      $ plain_arg)
+
+let check_metrics_cmd =
+  let input_arg =
+    Arg.(
+      value
+      & pos 0 string "-"
+      & info [] ~docv:"FILE"
+          ~doc:"OpenMetrics exposition to validate ($(b,-) reads stdin).")
+  in
+  Cmd.v
+    (Cmd.info "check-metrics"
+       ~doc:
+         "Validate an OpenMetrics text exposition (as served by GET \
+          /metrics?format=openmetrics) against the line grammar: typed families, \
+          no interleaving, cumulative buckets, exemplar syntax, terminal # EOF. \
+          Exits 1 with the offending line on failure.")
+    Term.(
+      const (fun input ->
+          let text =
+            if input = "-" then In_channel.input_all In_channel.stdin
+            else In_channel.with_open_bin input In_channel.input_all
+          in
+          match Obs.Openmetrics.validate text with
+          | Ok () -> print_endline "ok"
+          | Error e ->
+            prerr_endline ("check-metrics: " ^ e);
+            Stdlib.exit 1)
+      $ input_arg)
 
 (* Returns the process exit code: 0 on full success, 2 when some case
    failed permanently (results above exclude it), 130 when a stop was
@@ -682,6 +814,8 @@ let () =
       eval_cmd;
       serve_cmd;
       loadgen_cmd;
+      top_cmd;
+      check_metrics_cmd;
     ]
   in
   let info =

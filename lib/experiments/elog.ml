@@ -9,8 +9,9 @@ let debug fmt = Format.kasprintf (fun s -> Log.debug (fun m -> m "%s" s)) fmt
 let time fmt =
   Format.kasprintf
     (fun label f ->
-      let t0 = Unix.gettimeofday () in
-      let finish () = info "%s: %.3f s" label (Unix.gettimeofday () -. t0) in
+      (* monotonic, shared with Obs.Span: durations survive NTP steps *)
+      let t0 = Obs.Clock.now_s () in
+      let finish () = info "%s: %.3f s" label (Obs.Clock.now_s () -. t0) in
       match f () with
       | v ->
         finish ();

@@ -1,0 +1,14 @@
+(* Monotonic process clock. All duration measurement in this repo goes
+   through here (Span, Flight, Elog, the service latency histograms):
+   unlike [Unix.gettimeofday], CLOCK_MONOTONIC never steps under NTP
+   adjustment, so a span can never come out negative or hours long
+   because the wall clock was corrected mid-measurement.
+
+   The external is unboxed + noalloc: reading the clock is one C call,
+   no allocation, safe to put on paths that run with sinks off. *)
+
+external now_us : unit -> (float[@unboxed])
+  = "obs_clock_now_us" "obs_clock_now_us_unboxed"
+[@@noalloc]
+
+let now_s () = now_us () *. 1e-6

@@ -1,0 +1,13 @@
+(** Monotonic clock (CLOCK_MONOTONIC) for all duration measurement.
+
+    Values are microseconds/seconds since an arbitrary epoch (typically
+    boot), strictly non-decreasing within a process — immune to NTP
+    steps, unlike [Unix.gettimeofday]. Use it for {e intervals} only;
+    it is not a wall-clock time. The call is unboxed and allocation-free
+    ([@@noalloc]), so it is safe on hot paths even with sinks off. *)
+
+val now_us : unit -> float
+(** Monotonic microseconds. *)
+
+val now_s : unit -> float
+(** Monotonic seconds ([now_us () *. 1e-6]). *)

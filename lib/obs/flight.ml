@@ -1,0 +1,255 @@
+(* Always-on flight recorder: the last [capacity] served requests, with
+   per-stage timings, kept cheap enough for production.
+
+   Memory model (documented in DESIGN §14): one [record] per request is
+   created by the connection domain and mutated across the conn/worker
+   domain hop. The scalar fields (status, bytes, cache) are plain
+   mutable stores — each is written by exactly one domain at a time
+   (conn until submit, worker during eval, conn again for write/finish),
+   and readers ( /debug/requests ) tolerate a racy-but-unturn view
+   because OCaml word stores are atomic. The [stages] list is the one
+   genuinely concurrent field (conn and worker both push), so it is an
+   immutable list behind an [Atomic.t] with CAS push. The ring itself
+   is an option array plus a fetch-and-add cursor: publication is one
+   atomic increment and one pointer store, no lock, so two domains
+   finishing simultaneously write distinct slots.
+
+   Unlike Metrics/Span this module is NOT gated on the sinks flag: the
+   server always records flights (that is the point of a flight
+   recorder). The cost per request is one small record, ≤ max_stages
+   conses and a handful of clock reads — amortized over an HTTP round
+   trip, not per-schedule work. [timed] with no record and sinks off
+   stays allocation-free. *)
+
+type cache_status = Hit | Miss | Unknown
+
+type stage = {
+  stage : string;
+  t0_us : float; (* monotonic, Clock.now_us *)
+  t1_us : float;
+}
+
+type record = {
+  seq : int; (* per-process request ordinal; Chrome tid *)
+  mutable trace_id : string;
+  mutable meth : string;
+  mutable path : string;
+  started_wall_s : float; (* Unix time, display only *)
+  t_start_us : float; (* monotonic *)
+  mutable t_end_us : float; (* 0 until finished *)
+  mutable queued_us : float; (* 0 unless the job entered the queue *)
+  mutable status : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable cache : cache_status;
+  stages : stage list Atomic.t; (* newest first *)
+}
+
+let max_stages = 32
+let next_seq = Atomic.make 0
+
+let create ?trace_id ~meth ~path () =
+  let trace_id =
+    match trace_id with Some id -> id | None -> (Trace.mint ()).Trace.trace_id
+  in
+  {
+    seq = Atomic.fetch_and_add next_seq 1;
+    trace_id;
+    meth;
+    path;
+    started_wall_s = Unix.gettimeofday ();
+    t_start_us = Clock.now_us ();
+    t_end_us = 0.;
+    queued_us = 0.;
+    status = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    cache = Unknown;
+    stages = Atomic.make [];
+  }
+
+let mark_queued r = r.queued_us <- Clock.now_us ()
+let set_cache r c = r.cache <- c
+
+let add_stage r ~stage t0_us t1_us =
+  let s = { stage; t0_us; t1_us } in
+  let rec push () =
+    let cur = Atomic.get r.stages in
+    if List.length cur >= max_stages then ()
+    else if not (Atomic.compare_and_set r.stages cur (s :: cur)) then push ()
+  in
+  push ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-stage latency histograms (+ trace-id exemplars)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Registered lazily per stage name under the OpenMetrics label
+   convention: one family [service.stage_seconds] with a [stage] label,
+   parsed back out by Obs.Openmetrics. *)
+let hist_lock = Mutex.create ()
+let hists : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
+
+let stage_hist stage =
+  Mutex.protect hist_lock (fun () ->
+      match Hashtbl.find_opt hists stage with
+      | Some h -> h
+      | None ->
+        let h =
+          Metrics.histogram ~buckets:Metrics.latency_buckets
+            (Printf.sprintf "service.stage_seconds{stage=%S}" stage)
+        in
+        Hashtbl.add hists stage h;
+        h)
+
+let record_stage record ~stage t0_us t1_us =
+  (match record with None -> () | Some r -> add_stage r ~stage t0_us t1_us);
+  if Metrics.enabled () then
+    Metrics.observe_ex (stage_hist stage)
+      ?exemplar:(match record with Some r -> Some r.trace_id | None -> None)
+      ((t1_us -. t0_us) *. 1e-6)
+
+let timed ?record ~stage f =
+  match record with
+  | None when not (Metrics.enabled ()) -> f () (* two loads, no allocation *)
+  | _ -> (
+    let t0 = Clock.now_us () in
+    match f () with
+    | v ->
+      record_stage record ~stage t0 (Clock.now_us ());
+      v
+    | exception e ->
+      record_stage record ~stage t0 (Clock.now_us ());
+      raise e)
+
+(* ------------------------------------------------------------------ *)
+(* The ring                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let capacity = 256
+let ring : record option array = Array.make capacity None
+let cursor = Atomic.make 0 (* total records ever published *)
+
+let total () = Atomic.get cursor
+
+let publish r =
+  let i = Atomic.fetch_and_add cursor 1 in
+  ring.(i mod capacity) <- Some r
+
+let duration_ms r =
+  let e = if r.t_end_us > 0. then r.t_end_us else Clock.now_us () in
+  (e -. r.t_start_us) /. 1e3
+
+let finish ?slow_ms r ~status =
+  r.t_end_us <- Clock.now_us ();
+  r.status <- status;
+  publish r;
+  match slow_ms with
+  | Some ms when duration_ms r >= ms ->
+    let stages =
+      Atomic.get r.stages |> List.rev_map (fun s -> s.stage) |> String.concat ","
+    in
+    Printf.eprintf "[slow] %s %s -> %d in %.1f ms (trace=%s stages=%s)\n%!" r.meth
+      r.path status (duration_ms r) r.trace_id stages
+  | _ -> ()
+
+let recent ?(limit = capacity) () =
+  let upper = Atomic.get cursor in
+  let lower = Int.max 0 (upper - capacity) in
+  let rec collect i acc n =
+    if i < lower || n >= limit then List.rev acc
+    else
+      match ring.(i mod capacity) with
+      | None -> List.rev acc
+      | Some r -> collect (i - 1) (r :: acc) (n + 1)
+  in
+  List.rev (collect (upper - 1) [] 0)
+
+let reset () =
+  Atomic.set cursor 0;
+  Array.fill ring 0 capacity None
+
+(* ------------------------------------------------------------------ *)
+(* Rendering (/debug/requests)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let esc = Span.json_escape
+
+let cache_name = function Hit -> "hit" | Miss -> "miss" | Unknown -> "unknown"
+
+let sorted_stages r =
+  List.sort (fun a b -> Float.compare a.t0_us b.t0_us) (Atomic.get r.stages)
+
+let record_json buf r =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"trace_id\":\"%s\",\"method\":\"%s\",\"path\":\"%s\",\"status\":%d,\"start_unix_s\":%.6f,\"duration_ms\":%.3f,\"bytes_in\":%d,\"bytes_out\":%d,\"engine_cache\":\"%s\",\"stages\":["
+       (esc r.trace_id) (esc r.meth) (esc r.path) r.status r.started_wall_s
+       (duration_ms r) r.bytes_in r.bytes_out (cache_name r.cache));
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"start_us\":%.1f,\"duration_us\":%.1f}"
+           (esc s.stage)
+           (s.t0_us -. r.t_start_us)
+           (s.t1_us -. s.t0_us)))
+    (sorted_stages r);
+  Buffer.add_string buf "]}"
+
+let json ?limit () =
+  let rs = recent ?limit () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"total\":%d,\"capacity\":%d,\"requests\":[" (total ()) capacity);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n';
+      record_json buf r)
+    rs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+(* Chrome trace_event export: one "X" (complete) event per stage plus
+   an enclosing request event, tid = request ordinal so each request is
+   its own row; args carry the trace id, which is what links the tree. *)
+let chrome ?limit ?trace_id () =
+  let rs = recent ?limit () in
+  let rs =
+    match trace_id with
+    | None -> rs
+    | Some id -> List.filter (fun r -> String.equal r.trace_id id) rs
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let event ~name ~ts ~dur ~tid ~args =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf
+      (Printf.sprintf
+         "\n{\"name\":\"%s\",\"cat\":\"request\",\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{%s}}"
+         name tid ts dur args)
+  in
+  List.iter
+    (fun r ->
+      let tid = r.seq land 0x3fffffff in
+      let t_end = if r.t_end_us > 0. then r.t_end_us else Clock.now_us () in
+      event
+        ~name:(Printf.sprintf "%s %s" (esc r.meth) (esc r.path))
+        ~ts:r.t_start_us
+        ~dur:(t_end -. r.t_start_us)
+        ~tid
+        ~args:
+          (Printf.sprintf "\"trace_id\":\"%s\",\"status\":%d,\"engine_cache\":\"%s\""
+             (esc r.trace_id) r.status (cache_name r.cache));
+      List.iter
+        (fun s ->
+          event ~name:(esc s.stage) ~ts:s.t0_us
+            ~dur:(s.t1_us -. s.t0_us)
+            ~tid
+            ~args:(Printf.sprintf "\"trace_id\":\"%s\"" (esc r.trace_id)))
+        (sorted_stages r))
+    rs;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf

@@ -58,6 +58,13 @@ let default_buckets =
   (* decade buckets, roughly µs..17min when observing seconds *)
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10.; 100.; 1000. |]
 
+(* Log-1.5 ladder from 1 µs to ≈22 s (43 buckets). Decades are far too
+   coarse for the sub-ms eval target: a whole 100 µs–1 ms decade lands
+   in one bucket, so p50/p99 interpolation is meaningless there. ×1.5
+   keeps quantile error ≤ 25% of the value at every scale for the cost
+   of a 43-slot array per shard. *)
+let latency_buckets = Array.init 43 (fun i -> 1e-6 *. (1.5 ** float_of_int i))
+
 let histogram ?(buckets = default_buckets) name =
   if Array.length buckets = 0 then invalid_arg "Obs.Metrics.histogram: empty buckets";
   Array.iteri
@@ -72,9 +79,17 @@ let histogram ?(buckets = default_buckets) name =
 (* Shards                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* Sliding-window sample ring per (histogram × shard): feeds the
+   windowed quantiles a live /metrics endpoint wants (recent behavior,
+   not the lifetime average). Power of two so the index is a mask. *)
+let window_capacity = 128
+
 type hist_cell = {
   counts : int array; (* one per bound + overflow *)
   mutable sum : float;
+  recent : float array; (* last [window_capacity] observed values *)
+  mutable recent_n : int; (* total ever observed; wraps over the ring *)
+  exemplars : (string * float) option array; (* per bucket, last writer wins *)
 }
 
 type shard = {
@@ -124,7 +139,7 @@ let bucket_index bounds v =
   in
   go 0 (Array.length bounds)
 
-let observe h v =
+let observe_ex h ?exemplar v =
   if Atomic.get enabled_flag then begin
     let s = Domain.DLS.get shard_key in
     ensure s h.hid;
@@ -132,14 +147,30 @@ let observe h v =
       match s.hists.(h.hid) with
       | Some c -> c
       | None ->
-        let c = { counts = Array.make (Array.length h.bounds + 1) 0; sum = 0. } in
+        let n_buckets = Array.length h.bounds + 1 in
+        let c =
+          {
+            counts = Array.make n_buckets 0;
+            sum = 0.;
+            recent = Array.make window_capacity 0.;
+            recent_n = 0;
+            exemplars = Array.make n_buckets None;
+          }
+        in
         s.hists.(h.hid) <- Some c;
         c
     in
     let i = bucket_index h.bounds v in
     cell.counts.(i) <- cell.counts.(i) + 1;
-    cell.sum <- cell.sum +. v
+    cell.sum <- cell.sum +. v;
+    cell.recent.(cell.recent_n land (window_capacity - 1)) <- v;
+    cell.recent_n <- cell.recent_n + 1;
+    match exemplar with
+    | None -> ()
+    | Some trace_id -> cell.exemplars.(i) <- Some (trace_id, v)
   end
+
+let observe h v = observe_ex h v
 
 (* ------------------------------------------------------------------ *)
 (* Gauges                                                              *)
@@ -170,6 +201,8 @@ type hist_value = {
   counts : int array; (* per bound, plus a final overflow bucket *)
   total : int;
   sum : float;
+  recent : float array; (* sliding-window samples, unordered, may be empty *)
+  exemplars : (string * float) option array; (* per bucket: (trace id, value) *)
 }
 
 type snapshot = {
@@ -190,6 +223,13 @@ let snapshot () =
           kinds
       in
       let hist_sum_acc = Array.make n 0. in
+      let hist_recent_acc = Array.make n [] in
+      let hist_exemplar_acc =
+        Array.map
+          (function
+            | Hist_kind b -> Array.make (Array.length b + 1) None | Counter_kind -> [||])
+          kinds
+      in
       List.iter
         (fun (s : shard) ->
           let m = Int.min n (Array.length s.counters) in
@@ -200,7 +240,15 @@ let snapshot () =
             | Some cell ->
               let acc = hist_count_acc.(id) in
               Array.iteri (fun i c -> acc.(i) <- acc.(i) + c) cell.counts;
-              hist_sum_acc.(id) <- hist_sum_acc.(id) +. cell.sum
+              hist_sum_acc.(id) <- hist_sum_acc.(id) +. cell.sum;
+              let valid = Int.min cell.recent_n window_capacity in
+              if valid > 0 then
+                hist_recent_acc.(id) <-
+                  Array.sub cell.recent 0 valid :: hist_recent_acc.(id);
+              let ex = hist_exemplar_acc.(id) in
+              Array.iteri
+                (fun i e -> match e with Some _ when ex.(i) = None -> ex.(i) <- e | _ -> ())
+                cell.exemplars
           done)
         shard_list;
       let counters = ref [] and histograms = ref [] in
@@ -216,6 +264,8 @@ let snapshot () =
                 counts;
                 total = Array.fold_left ( + ) 0 counts;
                 sum = hist_sum_acc.(id);
+                recent = Array.concat hist_recent_acc.(id);
+                exemplars = hist_exemplar_acc.(id);
               } )
             :: !histograms
       done;
@@ -255,6 +305,23 @@ let hist_quantile h q =
     go 0 0
   end
 
+(* Exact quantile over the merged sliding-window samples — recent
+   behavior at full resolution. Falls back to the bucket estimate when
+   the window is empty (e.g. a snapshot taken before any traffic). *)
+let window_quantile h q =
+  let n = Array.length h.recent in
+  if n = 0 then hist_quantile h q
+  else begin
+    let a = Array.copy h.recent in
+    Array.sort Float.compare a;
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = q *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = Int.min (n - 1) (lo + 1) in
+    let frac = rank -. float_of_int lo in
+    (a.(lo) *. (1. -. frac)) +. (a.(hi) *. frac)
+  end
+
 let reset () =
   Mutex.protect registry_lock (fun () ->
       Mutex.protect shards_lock (fun () ->
@@ -266,7 +333,9 @@ let reset () =
                   | None -> ()
                   | Some (cell : hist_cell) ->
                     Array.fill cell.counts 0 (Array.length cell.counts) 0;
-                    cell.sum <- 0.)
+                    cell.sum <- 0.;
+                    cell.recent_n <- 0;
+                    Array.fill cell.exemplars 0 (Array.length cell.exemplars) None)
                 s.hists)
             !shards);
       Mutex.protect gauges_lock (fun () ->

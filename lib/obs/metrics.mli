@@ -39,7 +39,21 @@ val histogram : ?buckets:float array -> string -> histogram
     bounds (default: decades from [1e-6] to [1e3]). An extra overflow
     bucket catches values above the last bound. *)
 
+val default_buckets : float array
+(** Decades, [1e-6 .. 1e3] — coarse; fine for event sizes/counts. *)
+
+val latency_buckets : float array
+(** Log-1.5 ladder, 1 µs … ≈22 s (43 buckets) — the preset every
+    duration-in-seconds histogram should use: quantile interpolation
+    error stays ≤ 25% of the value at every scale, where decades put a
+    whole 100 µs–1 ms band in one bucket. *)
+
 val observe : histogram -> float -> unit
+
+val observe_ex : histogram -> ?exemplar:string -> float -> unit
+(** {!observe}, optionally attaching a trace id as the bucket's
+    exemplar (last writer per shard wins; surfaced in the OpenMetrics
+    exposition so a slow bucket links to a concrete request). *)
 
 (** {1 Snapshot / merge} *)
 
@@ -48,6 +62,11 @@ type hist_value = {
   counts : int array;  (** one per bound, plus a final overflow bucket *)
   total : int;
   sum : float;
+  recent : float array;
+      (** sliding-window samples (last ≤128 per writing domain),
+          unordered; empty before any observation *)
+  exemplars : (string * float) option array;
+      (** per bucket: (trace id, observed value) from {!observe_ex} *)
 }
 
 type snapshot = {
@@ -67,7 +86,13 @@ val hist_quantile : hist_value -> float -> float
     the bucket counts by linear interpolation inside the bucket holding
     the target rank — resolution is limited by the bucket bounds (the
     overflow bucket is pinned at the last bound). [nan] on an empty
-    histogram. This is what live p50/p99 endpoints serve. *)
+    histogram. *)
+
+val window_quantile : hist_value -> float -> float
+(** Exact quantile over the {e sliding window} of recent samples
+    ([hist_value.recent]) — what a live p50/p99 endpoint should serve:
+    current behavior, not the lifetime average. Falls back to
+    {!hist_quantile} when the window is empty. *)
 
 val reset : unit -> unit
 (** Zero every shard and gauge. Only meaningful while no other domain is

@@ -39,7 +39,9 @@ let buf_key : buf Domain.DLS.key =
       Mutex.protect bufs_lock (fun () -> bufs := b :: !bufs);
       b)
 
-let now_us () = Unix.gettimeofday () *. 1e6
+(* Monotonic: spans survive NTP steps (a wall-clock correction mid-span
+   used to produce negative or hours-long durations). *)
+let now_us = Clock.now_us
 
 let record name t0 t1 =
   let b = Domain.DLS.get buf_key in

@@ -1,0 +1,74 @@
+(* W3C trace-context identifiers (traceparent header, 00 version).
+
+   A trace id is 32 lowercase hex chars, a parent/span id 16; the
+   header form is "00-<trace>-<parent>-<flags>". Ids are minted from a
+   splitmix64 stream over an atomic counter (seeded once per process
+   from the wall clock and pid), so minting is lock-free, allocation is
+   bounded to the id strings themselves, and two processes started in
+   the same microsecond still diverge on pid. *)
+
+type t = {
+  trace_id : string;  (* 32 lowercase hex *)
+  parent_id : string; (* 16 lowercase hex *)
+}
+
+(* splitmix64 finalizer: full-period mixing of the counter stream *)
+let mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9E3779B97F4A7C15L
+
+let seed =
+  Int64.logxor
+    (Int64.of_float (Unix.gettimeofday () *. 1e6))
+    (Int64.shift_left (Int64.of_int (Unix.getpid ())) 40)
+
+let ctr = Atomic.make 1
+
+let next64 () =
+  let n = Atomic.fetch_and_add ctr 1 in
+  mix Int64.(add seed (mul golden (of_int n)))
+
+let hex16 v = Printf.sprintf "%016Lx" v
+
+let rec fresh_trace_id () =
+  let id = hex16 (next64 ()) ^ hex16 (next64 ()) in
+  (* the all-zero id is invalid per the spec; astronomically unlikely *)
+  if String.for_all (Char.equal '0') id then fresh_trace_id () else id
+
+let rec span_id () =
+  let id = hex16 (next64 ()) in
+  if String.for_all (Char.equal '0') id then span_id () else id
+
+let mint () = { trace_id = fresh_trace_id (); parent_id = span_id () }
+
+let is_hex s =
+  String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
+
+let is_valid_trace_id s =
+  String.length s = 32 && is_hex s && not (String.for_all (Char.equal '0') s)
+
+let is_valid_parent_id s =
+  String.length s = 16 && is_hex s && not (String.for_all (Char.equal '0') s)
+
+let to_traceparent t = Printf.sprintf "00-%s-%s-01" t.trace_id t.parent_id
+
+let of_traceparent s =
+  (* "00-" ^ 32 hex ^ "-" ^ 16 hex ^ "-" ^ 2 hex = 55 bytes; unknown
+     versions and malformed fields are rejected (caller mints fresh) *)
+  if
+    String.length s = 55
+    && s.[2] = '-' && s.[35] = '-' && s.[52] = '-'
+    && String.sub s 0 2 = "00"
+  then begin
+    let trace_id = String.sub s 3 32 in
+    let parent_id = String.sub s 36 16 in
+    let flags = String.sub s 53 2 in
+    if is_valid_trace_id trace_id && is_valid_parent_id parent_id && is_hex flags then
+      Some { trace_id; parent_id }
+    else None
+  end
+  else None

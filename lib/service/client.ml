@@ -42,18 +42,18 @@ let dial t =
     t.conn <- Some c;
     c
 
-let once t ~meth ~path ~body =
+let once t ~headers ~meth ~path ~body =
   let fd, reader = dial t in
-  match Http.write_request fd ~meth ~path ~body with
+  match Http.write_request ~headers fd ~meth ~path ~body with
   | () -> Http.read_response reader
   | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> Error `Closed
 
-let request t ~meth ~path ?(body = "") () =
-  match once t ~meth ~path ~body with
+let request t ~meth ~path ?(headers = []) ?(body = "") () =
+  match once t ~headers ~meth ~path ~body with
   | Error `Closed ->
     (* stale keep-alive: redial once *)
     close t;
-    once t ~meth ~path ~body
+    once t ~headers ~meth ~path ~body
   | r -> r
 
 let get t path = request t ~meth:"GET" ~path ()
@@ -77,8 +77,14 @@ let healthz t =
   | Ok resp -> Ok resp.Http.body
   | Error _ as e -> e
 
-let eval t job =
-  match collapse "eval" (post t "/eval" (Proto.job_to_json job)) with
+let eval ?traceparent t job =
+  let headers =
+    match traceparent with None -> [] | Some tp -> [ ("traceparent", tp) ]
+  in
+  match
+    collapse "eval" (request t ~meth:"POST" ~path:"/eval" ~headers
+                       ~body:(Proto.job_to_json job) ())
+  with
   | Ok resp -> Ok resp.Http.body
   | Error _ as e -> e
 

@@ -14,10 +14,12 @@ val connect : ?host:string -> ?timeout_s:float -> port:int -> unit -> t
 val close : t -> unit
 
 val request :
-  t -> meth:string -> path:string -> ?body:string -> unit ->
+  t -> meth:string -> path:string -> ?headers:(string * string) list ->
+  ?body:string -> unit ->
   (Http.response, Http.error) result
 (** One round-trip. Redials and retries exactly once when the
-    connection turns out to be closed (stale keep-alive). *)
+    connection turns out to be closed (stale keep-alive). [headers]
+    ride on the request line (e.g. [traceparent]). *)
 
 val get : t -> string -> (Http.response, Http.error) result
 val post : t -> string -> string -> (Http.response, Http.error) result
@@ -30,8 +32,10 @@ val post : t -> string -> string -> (Http.response, Http.error) result
 val healthz : t -> (string, string) result
 (** Body of [GET /healthz] (200 or draining-503 both count as alive). *)
 
-val eval : t -> Proto.job -> (string, string) result
-(** Sync evaluation: [POST /eval], returns the bare result document. *)
+val eval : ?traceparent:string -> t -> Proto.job -> (string, string) result
+(** Sync evaluation: [POST /eval], returns the bare result document.
+    [traceparent] (see {!Obs.Trace.to_traceparent}) propagates a
+    client-minted trace id into the server's flight recorder. *)
 
 val submit : t -> Proto.job -> (string, string) result
 (** Async submit: [POST /jobs], returns the job id. *)

@@ -299,7 +299,9 @@ let write_response ?(headers = []) ?(content_type = "application/json") fd ~stat
   let buf = Buffer.create (256 + String.length body) in
   Buffer.add_string buf
     (Printf.sprintf "HTTP/1.1 %d %s\r\n" status (status_reason status));
-  Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
+  (* an explicit content-type in [headers] wins over the default *)
+  if not (List.mem_assoc "content-type" headers) then
+    Buffer.add_string buf (Printf.sprintf "content-type: %s\r\n" content_type);
   Buffer.add_string buf (Printf.sprintf "content-length: %d\r\n" (String.length body));
   List.iter
     (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))

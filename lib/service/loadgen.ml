@@ -1,11 +1,16 @@
 module Json = Experiments.Json
 
+type arrival = Closed | Poisson of float
+
 type config = {
   host : string;
   port : int;
   concurrency : int;
   requests : int;
   job : Proto.job;
+  arrival : arrival;
+  slo_ms : float option;
+  trace_out : string option;
 }
 
 let default_job () =
@@ -19,6 +24,7 @@ let default_job () =
     delta = None;
     gamma = None;
     deadline_ms = None;
+    trace = None;
   }
 
 let percentile sorted p =
@@ -37,15 +43,17 @@ type worker_result = {
   errors : int;
 }
 
-let worker config n_requests =
+(* Closed loop: each domain fires its share back-to-back; latency is
+   the client-side round trip. *)
+let closed_worker config n_requests =
   let client = Client.connect ~host:config.host ~port:config.port () in
   let body = config.job in
   let rec go i acc errors =
     if i >= n_requests then { latencies = acc; errors }
     else begin
-      let t0 = Unix.gettimeofday () in
+      let t0 = Obs.Clock.now_s () in
       match Client.eval client body with
-      | Ok _ -> go (i + 1) (Unix.gettimeofday () -. t0 :: acc) errors
+      | Ok _ -> go (i + 1) (Obs.Clock.now_s () -. t0 :: acc) errors
       | Error _ -> go (i + 1) acc (errors + 1)
     end
   in
@@ -53,22 +61,99 @@ let worker config n_requests =
   Client.close client;
   r
 
+(* Open loop: arrivals are a Poisson process with the requested rate,
+   scheduled up front as absolute offsets from the start instant and
+   claimed by the workers through a shared cursor. Latency is measured
+   from the *scheduled arrival*, not the send — when the service falls
+   behind, the backlog shows up as latency instead of silently slowing
+   the offered load (the coordinated-omission trap of closed loops). *)
+let poisson_worker config ~t_start_s ~offsets ~cursor =
+  let client = Client.connect ~host:config.host ~port:config.port () in
+  let body = config.job in
+  let total = Array.length offsets in
+  let rec go acc errors =
+    let i = Atomic.fetch_and_add cursor 1 in
+    if i >= total then { latencies = acc; errors }
+    else begin
+      let target = t_start_s +. offsets.(i) in
+      let now = Obs.Clock.now_s () in
+      if target > now then Unix.sleepf (target -. now);
+      match Client.eval client body with
+      | Ok _ -> go (Obs.Clock.now_s () -. target :: acc) errors
+      | Error _ -> go acc (errors + 1)
+    end
+  in
+  let r = go [] 0 in
+  Client.close client;
+  r
+
+(* One traced request after the load: mint a trace id, propagate it via
+   [traceparent], then pull that request's Chrome trace back out of the
+   server's flight ring. The server publishes the record only after the
+   response bytes are written, so the first poll can race it — retry. *)
+let fetch_trace config =
+  let tr = Obs.Trace.mint () in
+  let client = Client.connect ~host:config.host ~port:config.port () in
+  let result =
+    match Client.eval ~traceparent:(Obs.Trace.to_traceparent tr) client config.job with
+    | Error e -> Error ("traced request failed: " ^ e)
+    | Ok _ ->
+      let path =
+        Printf.sprintf "/debug/requests?format=chrome&trace=%s" tr.Obs.Trace.trace_id
+      in
+      (* an empty filter result is ~42 bytes; any real event pushes the
+         document well past that *)
+      let has_events body = String.length body >= 60 in
+      let rec poll attempts =
+        match Client.get client path with
+        | Ok resp when resp.Http.status = 200 && has_events resp.Http.body ->
+          Ok (tr.Obs.Trace.trace_id, resp.Http.body)
+        | _ when attempts > 1 ->
+          Unix.sleepf 0.01;
+          poll (attempts - 1)
+        | Ok resp ->
+          Error (Printf.sprintf "trace not found (HTTP %d)" resp.Http.status)
+        | Error e -> Error ("trace fetch failed: " ^ Http.error_to_string e)
+      in
+      poll 20
+  in
+  Client.close client;
+  result
+
 let num f = if Float.is_finite f then Json.Num (Json.float_lit f) else Json.Null
 let int_ i = Json.Num (string_of_int i)
 
 let run config =
   let concurrency = Int.max 1 config.concurrency in
   let total = Int.max 1 config.requests in
-  let share d =
-    (* split [total] across domains, first domains take the remainder *)
-    (total / concurrency) + if d < total mod concurrency then 1 else 0
+  let t0 = Obs.Clock.now_s () in
+  let results =
+    match config.arrival with
+    | Closed ->
+      let share d =
+        (* split [total] across domains, first domains take the remainder *)
+        (total / concurrency) + if d < total mod concurrency then 1 else 0
+      in
+      List.init concurrency (fun d ->
+          Domain.spawn (fun () -> closed_worker config (share d)))
+      |> List.map Domain.join
+    | Poisson rate ->
+      let rate = Float.max 1e-3 rate in
+      (* deterministic arrival schedule: exponential gaps, fixed seed *)
+      let st = Random.State.make [| 0x10adc0de; total; int_of_float (rate *. 1e3) |] in
+      let offsets = Array.make total 0. in
+      let t = ref 0. in
+      for i = 0 to total - 1 do
+        t := !t +. (-.Float.log (1. -. Random.State.float st 1.) /. rate);
+        offsets.(i) <- !t
+      done;
+      let cursor = Atomic.make 0 in
+      let t_start_s = Obs.Clock.now_s () in
+      List.init concurrency (fun _ ->
+          Domain.spawn (fun () -> poisson_worker config ~t_start_s ~offsets ~cursor))
+      |> List.map Domain.join
   in
-  let t0 = Unix.gettimeofday () in
-  let domains =
-    List.init concurrency (fun d -> Domain.spawn (fun () -> worker config (share d)))
-  in
-  let results = List.map Domain.join domains in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Obs.Clock.now_s () -. t0 in
   let latencies =
     List.concat_map (fun r -> r.latencies) results |> Array.of_list
   in
@@ -93,27 +178,64 @@ let run config =
     Client.close client;
     Option.value section ~default:Json.Null
   in
+  let trace_section =
+    match config.trace_out with
+    | None -> []
+    | Some file -> (
+      match fetch_trace config with
+      | Ok (trace_id, body) ->
+        let oc = open_out file in
+        output_string oc body;
+        close_out oc;
+        [ ("trace_id", Json.Str trace_id); ("trace_file", Json.Str file) ]
+      | Error e -> [ ("trace_error", Json.Str e) ])
+  in
+  let arrival_section =
+    match config.arrival with
+    | Closed -> [ ("arrival", Json.Str "closed") ]
+    | Poisson rate -> [ ("arrival", Json.Str "poisson"); ("rate_rps", num rate) ]
+  in
+  let slo_section =
+    match config.slo_ms with
+    | None -> []
+    | Some ms ->
+      let budget_s = ms /. 1e3 in
+      let within =
+        Array.fold_left (fun acc l -> if l <= budget_s then acc + 1 else acc) 0 latencies
+      in
+      (* errors count against the SLO: attained = within / offered *)
+      let offered = completed + errors in
+      let attained =
+        if offered = 0 then nan else float_of_int within /. float_of_int offered
+      in
+      [ ("slo_ms", num ms); ("slo_attained", num attained) ]
+  in
   let doc =
     Json.Obj
-      [
-        ("bench", Json.Str "serve");
-        ("version", Json.Str Build_info.version);
-        ("concurrency", int_ concurrency);
-        ("requests", int_ total);
-        ("completed", int_ completed);
-        ("errors", int_ errors);
-        ("wall_s", num wall);
-        ("throughput_rps", num (float_of_int completed /. wall));
-        ( "latency_s",
-          Json.Obj
-            [
-              ("mean", num mean);
-              ("p50", num (percentile latencies 0.50));
-              ("p90", num (percentile latencies 0.90));
-              ("p99", num (percentile latencies 0.99));
-              ("max", num (percentile latencies 1.0));
-            ] );
-        ("service", service);
-      ]
+      ([
+         ("bench", Json.Str "serve");
+         ("version", Json.Str Build_info.version);
+         ("concurrency", int_ concurrency);
+         ("requests", int_ total);
+       ]
+      @ arrival_section
+      @ [
+          ("completed", int_ completed);
+          ("errors", int_ errors);
+          ("wall_s", num wall);
+          ("throughput_rps", num (float_of_int completed /. wall));
+          ( "latency_s",
+            Json.Obj
+              [
+                ("mean", num mean);
+                ("p50", num (percentile latencies 0.50));
+                ("p90", num (percentile latencies 0.90));
+                ("p99", num (percentile latencies 0.99));
+                ("max", num (percentile latencies 1.0));
+              ] );
+        ]
+      @ slo_section
+      @ trace_section
+      @ [ ("service", service) ])
   in
   Json.to_string doc ^ "\n"

@@ -1,11 +1,29 @@
-(** Closed-loop load generator for the evaluation service — the
-    [repro loadgen] engine behind [BENCH_serve.json].
+(** Load generator for the evaluation service — the [repro loadgen]
+    engine behind [BENCH_serve.json].
 
-    Spawns [concurrency] client domains, each with its own keep-alive
-    {!Client} connection, firing synchronous [POST /eval] requests
-    until [requests] have completed; then scrapes [GET /metrics] once
-    and renders a single JSON report (throughput, client-side latency
-    quantiles, error count, the server's own service counters). *)
+    Two arrival disciplines:
+
+    - {e closed loop} (default): [concurrency] client domains fire
+      synchronous [POST /eval] requests back-to-back until [requests]
+      have completed. Offered load adapts to service speed; latency is
+      the client round trip.
+    - {e open loop} ([Poisson rate]): arrivals form a Poisson process
+      at [rate] requests/s, scheduled up front from a fixed seed and
+      claimed by the worker domains through a shared cursor. Latency is
+      measured from the {e scheduled arrival}, so a service that falls
+      behind accrues queueing delay instead of silently throttling the
+      load (no coordinated omission).
+
+    After the run the generator scrapes [GET /metrics] once and renders
+    a single JSON report (throughput, latency quantiles, error count,
+    optional SLO attainment, the server's service counters). With
+    [trace_out] set it additionally sends one traced request
+    ([traceparent] header) and saves that request's Chrome trace from
+    [GET /debug/requests?format=chrome&trace=...]. *)
+
+type arrival =
+  | Closed
+  | Poisson of float  (** offered rate, requests per second *)
 
 type config = {
   host : string;
@@ -13,6 +31,12 @@ type config = {
   concurrency : int;  (** client domains (each a keep-alive connection) *)
   requests : int;  (** total sync requests across all domains *)
   job : Proto.job;  (** request template, sent verbatim *)
+  arrival : arrival;
+  slo_ms : float option;
+      (** latency budget; the report gains [slo_ms]/[slo_attained]
+          (errors count as misses) *)
+  trace_out : string option;
+      (** write one traced request's Chrome trace JSON to this file *)
 }
 
 val default_job : unit -> Proto.job

@@ -29,6 +29,7 @@ type job = {
   delta : float option;
   gamma : float option;
   deadline_ms : int option;
+  trace : string option;
 }
 
 (* Scheduler names are resolved through {!Sched.Registry}: every
@@ -299,7 +300,15 @@ let job_of_fields j =
       let* d = as_int "deadline_ms" d in
       if d > 0 then Ok (Some d) else Error "deadline_ms: must be > 0"
   in
-  Ok { workload; ul; backend; schedules; slack_mode; delta; gamma; deadline_ms }
+  let* trace =
+    match opt_field "trace" j with
+    | None -> Ok None
+    | Some t ->
+      let* t = as_str "trace" t in
+      if Obs.Trace.is_valid_trace_id t then Ok (Some t)
+      else Error "trace: expected 32 lowercase hex digits (non-zero)"
+  in
+  Ok { workload; ul; backend; schedules; slack_mode; delta; gamma; deadline_ms; trace }
 
 let job_of_json body =
   match Json.parse body with
@@ -393,7 +402,8 @@ let job_to_json job =
        (base
        @ opt "delta" job.delta num_of_float
        @ opt "gamma" job.gamma num_of_float
-       @ opt "deadline_ms" job.deadline_ms num_of_int))
+       @ opt "deadline_ms" job.deadline_ms num_of_int
+       @ opt "trace" job.trace (fun t -> Json.Str t)))
 
 (* ------------------------------------------------------------------ *)
 (* Context (the batching key)                                          *)
@@ -490,71 +500,74 @@ let makespan_to_json d =
       ("q95", num_of_float (Dist.quantile d 0.95));
     ]
 
-let run_job ~engine job =
+let run_job ?flight ~engine job =
   let graph = Engine.graph engine and platform = Engine.platform engine in
-  let labeled = Array.of_list (expand_schedules job graph platform) in
-  let n = Array.length labeled in
   let backend = job.backend and slack_mode = job.slack_mode in
-  (* pilot calibration on this job's own first schedules (≤ 20), exactly
-     the Runner scheme — independent of whatever else shares the engine,
-     so batching can never change response bytes *)
-  let pilot_n = Int.min 20 n in
-  let pilot_evals =
-    Array.init pilot_n (fun i ->
-        Engine.analyze ~backend ~slack_mode engine (snd labeled.(i)))
-  in
-  let delta, gamma =
-    match (job.delta, job.gamma) with
-    | Some d, Some g -> (d, g)
-    | d_opt, g_opt ->
-      let pilot =
-        Array.to_list
-          (Array.map
-             (fun e ->
-               let d = e.Engine.makespan in
-               (Dist.mean d, Dist.std d))
-             pilot_evals)
-      in
-      let d_cal, g_cal = Robustness.calibrate_bounds pilot in
-      (Option.value d_opt ~default:d_cal, Option.value g_opt ~default:g_cal)
-  in
-  let rows =
-    Parallel.Par_array.init ~chunk_size:16 n (fun i ->
-        let e =
-          if i < pilot_n then pilot_evals.(i)
-          else Engine.analyze ~backend ~slack_mode engine (snd labeled.(i))
+  (* the "eval" span covers schedule expansion, pilot calibration and
+     the parallel metric sweep — everything but JSON rendering *)
+  let doc =
+    Obs.Flight.timed ?record:flight ~stage:"eval" (fun () ->
+        let labeled = Array.of_list (expand_schedules job graph platform) in
+        let n = Array.length labeled in
+        (* pilot calibration on this job's own first schedules (≤ 20), exactly
+           the Runner scheme — independent of whatever else shares the engine,
+           so batching can never change response bytes *)
+        let pilot_n = Int.min 20 n in
+        let pilot_evals =
+          Array.init pilot_n (fun i ->
+              Engine.analyze ~backend ~slack_mode engine (snd labeled.(i)))
         in
-        let m =
-          Robustness.compute ~delta ~gamma ~makespan_dist:e.Engine.makespan
-            ~slack:e.Engine.slack ()
+        let delta, gamma =
+          match (job.delta, job.gamma) with
+          | Some d, Some g -> (d, g)
+          | d_opt, g_opt ->
+            let pilot =
+              Array.to_list
+                (Array.map
+                   (fun e ->
+                     let d = e.Engine.makespan in
+                     (Dist.mean d, Dist.std d))
+                   pilot_evals)
+            in
+            let d_cal, g_cal = Robustness.calibrate_bounds pilot in
+            (Option.value d_opt ~default:d_cal, Option.value g_opt ~default:g_cal)
+        in
+        let rows =
+          Parallel.Par_array.init ~chunk_size:16 n (fun i ->
+              let e =
+                if i < pilot_n then pilot_evals.(i)
+                else Engine.analyze ~backend ~slack_mode engine (snd labeled.(i))
+              in
+              let m =
+                Robustness.compute ~delta ~gamma ~makespan_dist:e.Engine.makespan
+                  ~slack:e.Engine.slack ()
+              in
+              Json.Obj
+                [
+                  ("source", Json.Str (fst labeled.(i)));
+                  ("makespan", makespan_to_json e.Engine.makespan);
+                  ("metrics", metrics_to_json m);
+                ])
         in
         Json.Obj
           [
-            ("source", Json.Str (fst labeled.(i)));
-            ("makespan", makespan_to_json e.Engine.makespan);
-            ("metrics", metrics_to_json m);
+            ("case", Json.Str (key_of_job job));
+            ("backend", backend_to_json backend);
+            ("ul", num_of_float job.ul);
+            ("n_tasks", num_of_int (Dag.Graph.n_tasks graph));
+            ("n_procs", num_of_int (Platform.n_procs platform));
+            ( "slack",
+              Json.Str
+                (match slack_mode with
+                | `Disjunctive -> "disjunctive"
+                | `Precedence -> "precedence") );
+            ("delta", num_of_float delta);
+            ("gamma", num_of_float gamma);
+            ("n_schedules", num_of_int (Array.length labeled));
+            ("rows", Json.Arr (Array.to_list rows));
           ])
   in
-  let doc =
-    Json.Obj
-      [
-        ("case", Json.Str (key_of_job job));
-        ("backend", backend_to_json backend);
-        ("ul", num_of_float job.ul);
-        ("n_tasks", num_of_int (Dag.Graph.n_tasks graph));
-        ("n_procs", num_of_int (Platform.n_procs platform));
-        ( "slack",
-          Json.Str
-            (match slack_mode with
-            | `Disjunctive -> "disjunctive"
-            | `Precedence -> "precedence") );
-        ("delta", num_of_float delta);
-        ("gamma", num_of_float gamma);
-        ("n_schedules", num_of_int n);
-        ("rows", Json.Arr (Array.to_list rows));
-      ]
-  in
-  Json.to_string doc ^ "\n"
+  Obs.Flight.timed ?record:flight ~stage:"encode" (fun () -> Json.to_string doc ^ "\n")
 
 let eval job =
   match context_of_job job with

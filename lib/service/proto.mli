@@ -39,6 +39,12 @@ type job = {
   delta : float option;  (** A(δ) bound override; calibrated if absent *)
   gamma : float option;
   deadline_ms : int option;  (** queue-admission deadline, server-side *)
+  trace : string option;
+      (** client-minted trace id ({!Obs.Trace.is_valid_trace_id}); links
+          the async submit/result round trip when no [traceparent]
+          header can carry it. Not part of the batching key and never
+          echoed in the response body, so it cannot perturb the
+          byte-determinism contract. *)
 }
 
 val heuristics : (string * (Dag.Graph.t -> Platform.t -> Sched.Schedule.t)) list
@@ -67,7 +73,7 @@ val context_of_job : job -> (context, string) result
     so one {!Makespan.Engine} may serve them all — named workloads key
     on the case id, inline ones on a digest of their canonical JSON. *)
 
-val run_job : engine:Makespan.Engine.t -> job -> string
+val run_job : ?flight:Obs.Flight.record -> engine:Makespan.Engine.t -> job -> string
 (** Evaluate every schedule of the job on an engine built over the
     job's context and render the response body (one JSON document,
     newline-terminated). The engine must come from this job's [key];
@@ -75,7 +81,9 @@ val run_job : engine:Makespan.Engine.t -> job -> string
     schedules are generated from the spec seed, δ/γ are calibrated on
     the job's own first schedules (capped at 20) exactly as
     {!Experiments.Runner} does, and evaluation fans out over
-    {!Parallel.Pool.shared}. *)
+    {!Parallel.Pool.shared}. When [flight] is given, the work is split
+    into the ["eval"] (expansion + metric sweep) and ["encode"] (JSON
+    rendering) stages of that request's flight record. *)
 
 val eval : job -> (string, string) result
 (** One-shot local evaluation: context + fresh engine + {!run_job}.

@@ -11,6 +11,7 @@ type config = {
   engine_cache : int;
   auto_worker : bool;
   drain_grace_s : float;
+  slow_ms : float option;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     engine_cache = 8;
     auto_worker = true;
     drain_grace_s = 5.0;
+    slow_ms = None;
   }
 
 type jstate =
@@ -40,6 +42,7 @@ type jrec = {
   context : Proto.context;
   state : jstate Atomic.t;
   deadline : float option;  (* absolute Unix time; queue-admission only *)
+  flight : Obs.Flight.record;  (* the request that submitted the job *)
 }
 
 (* Always-on counters — plain atomics, independent of Obs gating. *)
@@ -157,53 +160,67 @@ type submit_error =
   | `Full
   | `Draining ]
 
-let submit t body : (jrec, submit_error) result =
-  match Proto.job_of_json body with
-  | Error e ->
+(* [header_traced] says whether the request already carried a
+   [traceparent] header — a valid [trace] field in the job body only
+   takes over when it did not (the header is the more specific signal). *)
+let submit t fl ~header_traced body : (jrec, submit_error) result =
+  let decoded =
+    Obs.Flight.timed ~record:fl ~stage:"admit" (fun () ->
+        match Proto.job_of_json body with
+        | Error e -> Error (`Invalid (400, e))
+        | Ok spec -> (
+          match Proto.context_of_job spec with
+          | Error e -> Error (`Invalid (422, e))
+          | Ok context -> Ok (spec, context)))
+  in
+  match decoded with
+  | Error (`Invalid _ as e) ->
     Atomic.incr t.c.c_rejected_invalid;
-    Error (`Invalid (400, e))
-  | Ok spec -> (
-    match Proto.context_of_job spec with
-    | Error e ->
-      Atomic.incr t.c.c_rejected_invalid;
-      Error (`Invalid (422, e))
-    | Ok context ->
-      let deadline =
-        Option.map
-          (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
-          spec.Proto.deadline_ms
-      in
-      let id = Printf.sprintf "job-%06d" (Atomic.fetch_and_add t.next_id 1) in
-      let j =
-        {
-          id;
-          spec;
-          key = context.Proto.key;
-          context;
-          state = Atomic.make Queued;
-          deadline;
-        }
-      in
-      Mutex.lock t.jmu;
-      let verdict =
-        if Atomic.get t.draining then Error `Draining
-        else if Queue.length t.jobs >= t.config.queue_capacity then Error `Full
-        else begin
-          Queue.push j t.jobs;
-          Hashtbl.replace t.table id j;
-          Ok j
-        end
-      in
-      let depth = Queue.length t.jobs in
-      (match verdict with Ok _ -> Condition.signal t.jcond | Error _ -> ());
-      Mutex.unlock t.jmu;
-      (match verdict with
-      | Ok _ ->
-        Atomic.incr t.c.c_submitted;
-        Obs.Metrics.set t.g_queue (float_of_int depth)
-      | Error `Full -> Atomic.incr t.c.c_rejected_full
-      | Error _ -> ());
-      verdict)
+    Error e
+  | Ok (spec, context) ->
+    (match spec.Proto.trace with
+    | Some tid when not header_traced -> fl.Obs.Flight.trace_id <- tid
+    | _ -> ());
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        spec.Proto.deadline_ms
+    in
+    let id = Printf.sprintf "job-%06d" (Atomic.fetch_and_add t.next_id 1) in
+    let j =
+      {
+        id;
+        spec;
+        key = context.Proto.key;
+        context;
+        state = Atomic.make Queued;
+        deadline;
+        flight = fl;
+      }
+    in
+    (* stamp before the push: once the job is visible the worker may pop
+       it immediately, and the queue stage needs the stamp in place *)
+    Obs.Flight.mark_queued fl;
+    Mutex.lock t.jmu;
+    let verdict =
+      if Atomic.get t.draining then Error `Draining
+      else if Queue.length t.jobs >= t.config.queue_capacity then Error `Full
+      else begin
+        Queue.push j t.jobs;
+        Hashtbl.replace t.table id j;
+        Ok j
+      end
+    in
+    let depth = Queue.length t.jobs in
+    (match verdict with Ok _ -> Condition.signal t.jcond | Error _ -> ());
+    Mutex.unlock t.jmu;
+    (match verdict with
+    | Ok _ ->
+      Atomic.incr t.c.c_submitted;
+      Obs.Metrics.set t.g_queue (float_of_int depth)
+    | Error `Full -> Atomic.incr t.c.c_rejected_full
+    | Error _ -> ());
+    verdict
 
 (* Pop the oldest job plus every queued job sharing its key, preserving
    the order of what stays behind. Caller holds [jmu]. *)
@@ -220,11 +237,11 @@ let pop_batch_locked t =
 
 let engine_for t key context =
   Mutex.lock t.emu;
-  let e =
+  let e, hit =
     match List.assoc_opt key t.engines with
     | Some e ->
       t.engines <- (key, e) :: List.remove_assoc key t.engines;
-      e
+      (e, true)
     | None ->
       let e =
         Engine.create ~graph:context.Proto.graph ~platform:context.Proto.platform
@@ -233,10 +250,10 @@ let engine_for t key context =
       Atomic.incr t.c.c_engines_created;
       let keep = List.filteri (fun i _ -> i < t.config.engine_cache - 1) t.engines in
       t.engines <- (key, e) :: keep;
-      e
+      (e, false)
   in
   Mutex.unlock t.emu;
-  e
+  (e, hit)
 
 let run_batch t batch =
   match batch with
@@ -245,20 +262,31 @@ let run_batch t batch =
     Atomic.incr t.c.c_batches;
     atomic_max t.c.c_max_batch (List.length batch);
     Obs.Metrics.observe t.h_batch (float_of_int (List.length batch));
-    let engine = engine_for t first.key first.context in
+    let pop_us = Obs.Clock.now_us () in
+    let engine, cache_hit = engine_for t first.key first.context in
     List.iter
       (fun j ->
         if not (expire_if_due t j) then
           if Atomic.compare_and_set j.state Queued Running then begin
-            let t0 = Unix.gettimeofday () in
-            (match Proto.run_job ~engine j.spec with
+            let fl = j.flight in
+            Obs.Flight.set_cache fl
+              (if cache_hit then Obs.Flight.Hit else Obs.Flight.Miss);
+            (* "queue" = enqueue → batch pop; "batch" = pop → this job's
+               turn (time spent behind same-key peers in the batch) *)
+            if fl.Obs.Flight.queued_us > 0. then
+              Obs.Flight.record_stage (Some fl) ~stage:"queue"
+                fl.Obs.Flight.queued_us pop_us;
+            let t0 = Obs.Clock.now_us () in
+            Obs.Flight.record_stage (Some fl) ~stage:"batch" pop_us t0;
+            (match Proto.run_job ~flight:fl ~engine j.spec with
             | body ->
               Atomic.set j.state (Done body);
               Atomic.incr t.c.c_done
             | exception exn ->
               Atomic.set j.state (Failed (Printexc.to_string exn));
               Atomic.incr t.c.c_failed);
-            Obs.Metrics.observe t.h_latency (Unix.gettimeofday () -. t0);
+            Obs.Metrics.observe_ex t.h_latency ~exemplar:fl.Obs.Flight.trace_id
+              ((Obs.Clock.now_us () -. t0) *. 1e-6);
             finished t j
           end)
       batch;
@@ -355,7 +383,8 @@ let metrics_body t =
     let snap = Obs.Metrics.snapshot () in
     match List.assoc_opt "service.request_seconds" snap.Obs.Metrics.histograms with
     | Some h when h.Obs.Metrics.total > 0 ->
-      Json.Num (Json.float_lit (Obs.Metrics.hist_quantile h p))
+      (* sliding window: the current p50/p99, not the lifetime average *)
+      Json.Num (Json.float_lit (Obs.Metrics.window_quantile h p))
     | _ -> Json.Null
   in
   let service =
@@ -382,6 +411,57 @@ let metrics_body t =
   (* The Obs report is already a JSON document — splice it verbatim. *)
   Printf.sprintf "{\"service\":%s,\"obs\":%s}\n" (Json.to_string service)
     (String.trim (Obs.Report.json ()))
+
+(* OpenMetrics exposition: the always-on service counters plus every
+   Obs instrument. The obs snapshot already owns the families
+   [service_request_seconds], [service_batch_size], [service_queue_depth]
+   and [service_stage_seconds]; the names below must stay disjoint from
+   those or the exposition would carry a duplicate [# TYPE]. *)
+let openmetrics_content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+let openmetrics_body t =
+  let s = stats t in
+  let counter family help v =
+    {
+      Obs.Openmetrics.family;
+      labels = [];
+      help = Some help;
+      data = Obs.Openmetrics.Counter (float_of_int v);
+    }
+  in
+  let gauge family help v =
+    {
+      Obs.Openmetrics.family;
+      labels = [];
+      help = Some help;
+      data = Obs.Openmetrics.Gauge (float_of_int v);
+    }
+  in
+  let service =
+    [
+      counter "service_requests" "HTTP requests parsed (any route)" s.requests;
+      counter "service_jobs_submitted" "Jobs admitted to the queue" s.jobs_submitted;
+      counter "service_jobs_done" "Jobs evaluated successfully" s.jobs_done;
+      counter "service_jobs_failed" "Jobs that raised during evaluation" s.jobs_failed;
+      counter "service_jobs_expired" "Jobs whose deadline elapsed while queued"
+        s.jobs_expired;
+      counter "service_jobs_cancelled" "Jobs cancelled by drain" s.jobs_cancelled;
+      counter "service_rejected_full" "Submissions refused by a full queue"
+        s.rejected_full;
+      counter "service_rejected_invalid" "Submissions refused as invalid (400/422)"
+        s.rejected_invalid;
+      counter "service_batches" "Same-key batches popped by the worker" s.batches;
+      counter "service_engines_created" "Engines built (LRU misses)" s.engines_created;
+      counter "service_engine_task_hits" "Task-level cache hits over live engines"
+        s.engine_task_hits;
+      counter "service_engine_task_misses" "Task-level cache misses over live engines"
+        s.engine_task_misses;
+      gauge "service_queue_capacity" "Job-queue bound" t.config.queue_capacity;
+      gauge "service_max_batch" "Largest batch so far" s.max_batch;
+    ]
+  in
+  Obs.Openmetrics.render
+    (service @ Obs.Openmetrics.of_snapshot (Obs.Metrics.snapshot ()))
 
 (* ------------------------------------------------------------------ *)
 (* HTTP plumbing                                                       *)
@@ -441,13 +521,43 @@ let submit_error_reply = function
   | `Full -> reply ~headers:[ ("retry-after", "1") ] 503 (error_body "queue full")
   | `Draining -> reply ~headers:[ ("retry-after", "5") ] 503 (error_body "draining")
 
-let handle t (req : Http.request) =
+(* Case-sensitive substring test — media types in Accept are expected
+   lowercase; good enough for content negotiation on one literal. *)
+let contains ~needle hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let wants_openmetrics (req : Http.request) =
+  List.assoc_opt "format" req.Http.query = Some "openmetrics"
+  ||
+  match Http.header "accept" req.Http.headers with
+  | Some a -> contains ~needle:"application/openmetrics-text" a
+  | None -> false
+
+let handle t fl ~header_traced (req : Http.request) =
   Atomic.incr t.c.c_requests;
   match (req.Http.meth, req.Http.path) with
   | "GET", "/healthz" -> reply 200 (healthz_body t)
-  | "GET", "/metrics" -> reply 200 (metrics_body t)
+  | "GET", "/metrics" ->
+    if wants_openmetrics req then
+      reply
+        ~headers:[ ("content-type", openmetrics_content_type) ]
+        200 (openmetrics_body t)
+    else reply 200 (metrics_body t)
+  | "GET", "/debug/requests" -> (
+    let limit =
+      match Option.bind (List.assoc_opt "limit" req.Http.query) int_of_string_opt with
+      | Some n when n > 0 -> Int.min n Obs.Flight.capacity
+      | _ -> 64
+    in
+    match List.assoc_opt "format" req.Http.query with
+    | Some "chrome" ->
+      let trace_id = List.assoc_opt "trace" req.Http.query in
+      reply 200 (Obs.Flight.chrome ~limit ?trace_id ())
+    | _ -> reply 200 (Obs.Flight.json ~limit ()))
   | "POST", "/eval" -> (
-    match submit t req.Http.body with
+    match submit t fl ~header_traced req.Http.body with
     | Error e -> submit_error_reply e
     | Ok j -> (
       match wait_terminal t j with
@@ -456,7 +566,7 @@ let handle t (req : Http.request) =
       | `Expired -> reply 504 (error_body "deadline expired while queued")
       | `Cancelled -> reply 503 (error_body "cancelled by drain")))
   | "POST", "/jobs" -> (
-    match submit t req.Http.body with
+    match submit t fl ~header_traced req.Http.body with
     | Error e -> submit_error_reply e
     | Ok j -> reply 202 (job_envelope j))
   | "GET", path when String.length path > 6 && String.sub path 0 6 = "/jobs/" -> (
@@ -479,21 +589,57 @@ let handle t (req : Http.request) =
       | Expired -> reply 504 (error_body "deadline expired while queued")
       | Cancelled -> reply 503 (error_body "cancelled by drain")
       | Queued | Running -> reply 202 (job_envelope j)))
-  | _, ("/healthz" | "/metrics" | "/eval" | "/jobs") ->
+  | _, ("/healthz" | "/metrics" | "/eval" | "/jobs" | "/debug/requests") ->
     reply 405 (error_body "method not allowed")
   | _ -> reply 404 (error_body "not found")
 
 let serve_conn t fd =
   let r = Http.reader fd in
   let rec loop () =
+    (* Wait for the first byte before starting the parse clock: idle
+       keep-alive time must not count as the "parse" stage. Skip the
+       select when bytes are already buffered (pipelined requests). *)
+    if Http.buffered r > 0 then request ()
+    else
+      match Unix.select [ fd ] [] [] idle_poll_s with
+      | [], _, _ -> if not (Atomic.get t.draining) then loop ()
+      | _ -> request ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error _ -> ()
+  and request () =
+    let t_parse0 = Obs.Clock.now_us () in
     match Http.read_request ~limits:t.config.limits r with
     | Ok req ->
-      let { status; headers; body } = handle t req in
+      let t_parse1 = Obs.Clock.now_us () in
+      let header_trace =
+        Option.bind
+          (Http.header "traceparent" req.Http.headers)
+          (fun tp ->
+            Option.map
+              (fun tr -> tr.Obs.Trace.trace_id)
+              (Obs.Trace.of_traceparent tp))
+      in
+      let fl =
+        Obs.Flight.create ?trace_id:header_trace ~meth:req.Http.meth
+          ~path:req.Http.path ()
+      in
+      fl.Obs.Flight.bytes_in <- String.length req.Http.body;
+      Obs.Flight.record_stage (Some fl) ~stage:"parse" t_parse0 t_parse1;
+      let { status; headers; body } =
+        handle t fl ~header_traced:(header_trace <> None) req
+      in
+      fl.Obs.Flight.bytes_out <- String.length body;
       let keep = Http.keep_alive req && not (Atomic.get t.draining) in
       let headers = if keep then headers else ("connection", "close") :: headers in
-      (match Http.write_response ~headers fd ~status body with
-      | () -> if keep then loop ()
-      | exception Unix.Unix_error _ -> ())
+      (match
+         Obs.Flight.timed ~record:fl ~stage:"write" (fun () ->
+             Http.write_response ~headers fd ~status body)
+       with
+      | () ->
+        Obs.Flight.finish ?slow_ms:t.config.slow_ms fl ~status;
+        if keep then loop ()
+      | exception Unix.Unix_error _ ->
+        Obs.Flight.finish ?slow_ms:t.config.slow_ms fl ~status)
     | Error `Timeout when Http.buffered r = 0 ->
       (* idle keep-alive connection: poll again unless draining *)
       if not (Atomic.get t.draining) then loop ()
@@ -597,7 +743,9 @@ let start config =
       c = counters ();
       domains = [];
       stopped = Atomic.make false;
-      h_latency = Obs.Metrics.histogram "service.request_seconds";
+      h_latency =
+        Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+          "service.request_seconds";
       h_batch =
         Obs.Metrics.histogram
           ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]

@@ -24,7 +24,21 @@
       ([504] for sync waiters, ["expired"] in async status);
     - drain ({!stop} or SIGTERM via {!serve_forever}): new submissions
       get [503], queued jobs are given [drain_grace_s] to finish, then
-      cancelled. *)
+      cancelled.
+
+    {2 Observability}
+
+    Every request becomes an {!Obs.Flight} record: the trace id comes
+    from the client's [traceparent] header (or the job body's [trace]
+    field, or is minted), and the request is decomposed into the
+    [parse → admit → queue → batch → eval → encode → write] stages
+    across the connection → worker domain hop. [GET /metrics] serves
+    JSON by default and OpenMetrics text (with trace-id exemplars on
+    latency buckets) under [?format=openmetrics] or
+    [Accept: application/openmetrics-text]; [GET /debug/requests]
+    serves the flight ring ([?format=chrome&trace=...] renders a
+    Chrome trace_event document); [slow_ms] enables the slow-request
+    stderr log. *)
 
 type config = {
   host : string;  (** bind address, default ["127.0.0.1"] *)
@@ -39,6 +53,10 @@ type config = {
           observable deterministically. Sync [/eval] requests then
           block until some other thread calls {!step}. *)
   drain_grace_s : float;  (** drain: max wait for queued jobs to finish *)
+  slow_ms : float option;
+      (** log one stderr line for every request slower than this many
+          milliseconds (with its trace id and stage list); [None]
+          disables the slow log *)
 }
 
 val default_config : config

@@ -438,6 +438,351 @@ let engine_output_independent_of_sinks () =
   in
   Alcotest.(check bool) "bit-identical distribution" true (reference = instrumented)
 
+(* ------------------------------------------------------------------ *)
+(* Trace identifiers                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let w3c_trace_id = "4bf92f3577b34da6a3ce929d0e0e4736"
+let w3c_parent_id = "00f067aa0ba902b7"
+
+let trace_mint_and_roundtrip () =
+  let t = Obs.Trace.mint () in
+  Alcotest.(check bool) "minted trace id valid" true
+    (Obs.Trace.is_valid_trace_id t.Obs.Trace.trace_id);
+  Alcotest.(check int) "parent id length" 16 (String.length t.Obs.Trace.parent_id);
+  let hdr = Obs.Trace.to_traceparent t in
+  Alcotest.(check int) "traceparent length" 55 (String.length hdr);
+  (match Obs.Trace.of_traceparent hdr with
+  | Some t' -> Alcotest.(check bool) "roundtrip preserves both ids" true (t = t')
+  | None -> Alcotest.fail "to_traceparent output rejected by of_traceparent");
+  let u = Obs.Trace.mint () in
+  Alcotest.(check bool) "successive mints differ" true
+    (t.Obs.Trace.trace_id <> u.Obs.Trace.trace_id)
+
+let trace_rejects_malformed () =
+  let reject what s =
+    match Obs.Trace.of_traceparent s with
+    | None -> ()
+    | Some _ -> Alcotest.failf "%s: accepted %S" what s
+  in
+  (match
+     Obs.Trace.of_traceparent
+       (Printf.sprintf "00-%s-%s-01" w3c_trace_id w3c_parent_id)
+   with
+  | Some t -> Alcotest.(check string) "w3c example parses" w3c_trace_id t.Obs.Trace.trace_id
+  | None -> Alcotest.fail "rejected the W3C example header");
+  reject "unknown version" (Printf.sprintf "ff-%s-%s-01" w3c_trace_id w3c_parent_id);
+  reject "uppercase hex"
+    (Printf.sprintf "00-%s-%s-01" (String.uppercase_ascii w3c_trace_id) w3c_parent_id);
+  reject "all-zero trace id"
+    (Printf.sprintf "00-%s-%s-01" (String.make 32 '0') w3c_parent_id);
+  reject "all-zero parent id"
+    (Printf.sprintf "00-%s-%s-01" w3c_trace_id (String.make 16 '0'));
+  reject "missing flags" (Printf.sprintf "00-%s-%s" w3c_trace_id w3c_parent_id);
+  reject "empty" "";
+  reject "non-hex trace id"
+    (Printf.sprintf "00-%s-%s-01" ("zz" ^ String.sub w3c_trace_id 2 30) w3c_parent_id);
+  Alcotest.(check bool) "is_valid_trace_id rejects all-zero" false
+    (Obs.Trace.is_valid_trace_id (String.make 32 '0'));
+  Alcotest.(check bool) "is_valid_trace_id rejects short" false
+    (Obs.Trace.is_valid_trace_id "abc")
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let clock_monotone () =
+  let prev = ref (Obs.Clock.now_us ()) in
+  let violated = ref false in
+  for _ = 1 to 10_000 do
+    let t = Obs.Clock.now_us () in
+    if t < !prev then violated := true;
+    prev := t
+  done;
+  Alcotest.(check bool) "now_us never decreases" false !violated
+
+let clock_measures_sleep () =
+  let t0 = Obs.Clock.now_us () in
+  let s0 = Obs.Clock.now_s () in
+  Unix.sleepf 0.02;
+  let dus = Obs.Clock.now_us () -. t0 in
+  let ds = Obs.Clock.now_s () -. s0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "20 ms sleep measures as %.0f us" dus)
+    true
+    (dus >= 15_000. && dus < 5e6);
+  Alcotest.(check bool) "now_s agrees with now_us" true
+    (Float.abs ((ds *. 1e6) -. dus) < 1e6)
+
+(* ------------------------------------------------------------------ *)
+(* Windowed quantiles and the latency bucket preset                    *)
+(* ------------------------------------------------------------------ *)
+
+let window_quantile_tracks_recent () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let h = Obs.Metrics.histogram ~buckets:[| 50.; 100.; 150.; 200. |] "omtest.window" in
+  for i = 1 to 200 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  let s = Obs.Metrics.snapshot () in
+  let hv = List.assoc "omtest.window" s.Obs.Metrics.histograms in
+  Alcotest.(check int) "lifetime total" 200 hv.Obs.Metrics.total;
+  (* the window holds the last 128 samples: 73..200 *)
+  Alcotest.(check int) "window capped at 128" 128 (Array.length hv.Obs.Metrics.recent);
+  Alcotest.(check (float 1e-9)) "window min" 73. (Obs.Metrics.window_quantile hv 0.);
+  Alcotest.(check (float 1e-9)) "window max" 200. (Obs.Metrics.window_quantile hv 1.);
+  let p50 = Obs.Metrics.window_quantile hv 0.5 in
+  Alcotest.(check (float 1e-9)) "window median exact" 136.5 p50;
+  Alcotest.(check bool) "window median above the lifetime bucket estimate" true
+    (p50 > Obs.Metrics.hist_quantile hv 0.5)
+
+let window_quantile_empty_falls_back () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let (_ : Obs.Metrics.histogram) =
+    Obs.Metrics.histogram ~buckets:[| 1. |] "omtest.window_empty"
+  in
+  let s = Obs.Metrics.snapshot () in
+  let hv = List.assoc "omtest.window_empty" s.Obs.Metrics.histograms in
+  Alcotest.(check bool) "empty histogram yields nan" true
+    (Float.is_nan (Obs.Metrics.window_quantile hv 0.5))
+
+let latency_buckets_preset () =
+  let b = Obs.Metrics.latency_buckets in
+  Alcotest.(check int) "43 buckets" 43 (Array.length b);
+  Alcotest.(check (float 1e-12)) "starts at 1 us" 1e-6 b.(0);
+  for i = 1 to Array.length b - 1 do
+    if b.(i) <= b.(i - 1) then Alcotest.fail "bounds not strictly increasing";
+    let r = b.(i) /. b.(i - 1) in
+    if r < 1.49 || r > 1.51 then Alcotest.failf "step ratio %g at %d is not log-1.5" r i
+  done;
+  Alcotest.(check bool) "tops out in the tens of seconds" true
+    (b.(42) > 20. && b.(42) < 30.)
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let flight_lifecycle () =
+  Obs.Flight.reset ();
+  let r = Obs.Flight.create ~trace_id:w3c_trace_id ~meth:"POST" ~path:"/eval" () in
+  Obs.Flight.set_cache r Obs.Flight.Hit;
+  let t0 = Obs.Clock.now_us () in
+  Obs.Flight.record_stage (Some r) ~stage:"parse" t0 (t0 +. 5.);
+  let v = Obs.Flight.timed ~record:r ~stage:"eval" (fun () -> 42) in
+  Alcotest.(check int) "timed passes the result through" 42 v;
+  Obs.Flight.finish r ~status:200;
+  Alcotest.(check int) "one publication" 1 (Obs.Flight.total ());
+  (match Obs.Flight.recent () with
+  | [ p ] ->
+    Alcotest.(check string) "trace id" w3c_trace_id p.Obs.Flight.trace_id;
+    Alcotest.(check int) "status" 200 p.Obs.Flight.status;
+    Alcotest.(check bool) "sealed" true (p.Obs.Flight.t_end_us > 0.);
+    let stages = List.map (fun s -> s.Obs.Flight.stage) (Atomic.get p.Obs.Flight.stages) in
+    Alcotest.(check bool) "parse stage recorded" true (List.mem "parse" stages);
+    Alcotest.(check bool) "eval stage recorded" true (List.mem "eval" stages)
+  | l -> Alcotest.failf "expected one record, got %d" (List.length l));
+  check_valid_json "debug document" (Obs.Flight.json ());
+  let chrome = Obs.Flight.chrome ~trace_id:w3c_trace_id () in
+  check_valid_json "chrome document" chrome;
+  Alcotest.(check bool) "chrome carries the trace" true
+    (count_substring ~sub:w3c_trace_id chrome > 0);
+  let other = Obs.Flight.chrome ~trace_id:(String.make 32 'b') () in
+  Alcotest.(check int) "trace filter excludes other requests" 0
+    (count_substring ~sub:"/eval" other);
+  Obs.Flight.reset ();
+  Alcotest.(check int) "reset clears the ring" 0 (Obs.Flight.total ())
+
+let flight_ring_wraparound_concurrent () =
+  Obs.Flight.reset ();
+  let n_domains = 4 and per_domain = 150 in
+  (* 600 publications into a 256-slot ring, from four domains at once *)
+  let worker d () =
+    for i = 1 to per_domain do
+      let r = Obs.Flight.create ~meth:"GET" ~path:(Printf.sprintf "/d%d/%d" d i) () in
+      Obs.Flight.timed ~record:r ~stage:"eval" (fun () -> ());
+      Obs.Flight.finish r ~status:200
+    done
+  in
+  let domains = List.init n_domains (fun d -> Domain.spawn (worker d)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "total counts every publication" (n_domains * per_domain)
+    (Obs.Flight.total ());
+  let rs = Obs.Flight.recent () in
+  Alcotest.(check int) "ring serves exactly capacity records" Obs.Flight.capacity
+    (List.length rs);
+  let seqs = List.sort_uniq compare (List.map (fun r -> r.Obs.Flight.seq) rs) in
+  Alcotest.(check int) "every served record is distinct" (List.length rs)
+    (List.length seqs);
+  List.iter
+    (fun r ->
+      Alcotest.(check int) "served record sealed" 200 r.Obs.Flight.status;
+      Alcotest.(check bool) "served record has an end stamp" true
+        (r.Obs.Flight.t_end_us > 0.))
+    rs;
+  check_valid_json "debug document after wrap" (Obs.Flight.json ());
+  check_valid_json "chrome document after wrap" (Obs.Flight.chrome ());
+  Alcotest.(check int) "limit respected" 8 (List.length (Obs.Flight.recent ~limit:8 ()));
+  Obs.Flight.reset ()
+
+let flight_timed_off_does_not_allocate () =
+  with_flags ~metrics:false ~spans:false ~progress:false @@ fun () ->
+  let f () = () in
+  for _ = 1 to 1_000 do
+    Obs.Flight.timed ~stage:"hot" f
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 50_000 do
+    Obs.Flight.timed ~stage:"hot" f
+  done;
+  let allocated = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "timed with no record and sinks off allocated %.0f minor words"
+       allocated)
+    true (allocated <= 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics exposition                                              *)
+(* ------------------------------------------------------------------ *)
+
+let openmetrics_render_golden () =
+  let open Obs.Openmetrics in
+  let metrics =
+    [
+      { family = "om_requests"; labels = []; help = Some "Total requests";
+        data = Counter 3. };
+      { family = "om_depth"; labels = []; help = None; data = Gauge 2.5 };
+      { family = "om_lat"; labels = [ ("stage", "parse") ]; help = None;
+        data =
+          Histogram
+            {
+              bounds = [| 0.001; 0.01 |];
+              counts = [| 2; 1; 1 |];
+              sum = 0.0215;
+              exemplars = [| Some (w3c_trace_id, 0.0005); None; None |];
+            } };
+    ]
+  in
+  let text = render metrics in
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP om_requests Total requests";
+        "# TYPE om_requests counter";
+        "om_requests_total 3";
+        "# TYPE om_depth gauge";
+        "om_depth 2.5";
+        "# TYPE om_lat histogram";
+        "om_lat_bucket{stage=\"parse\",le=\"0.001\"} 2 # {trace_id=\"" ^ w3c_trace_id
+        ^ "\"} 0.0005";
+        "om_lat_bucket{stage=\"parse\",le=\"0.01\"} 3";
+        "om_lat_bucket{stage=\"parse\",le=\"+Inf\"} 4";
+        "om_lat_count{stage=\"parse\"} 4";
+        "om_lat_sum{stage=\"parse\"} 0.0215";
+        "# EOF";
+      ]
+    ^ "\n"
+  in
+  Alcotest.(check string) "golden exposition" expected text;
+  match validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validator rejected the golden document: %s" e
+
+let openmetrics_groups_families () =
+  let open Obs.Openmetrics in
+  let hist stage =
+    { family = "om_grp"; labels = [ ("stage", stage) ]; help = None;
+      data =
+        Histogram
+          { bounds = [| 1. |]; counts = [| 1; 0 |]; sum = 0.5;
+            exemplars = [| None; None |] } }
+  in
+  let other = { family = "om_other"; labels = []; help = None; data = Counter 1. } in
+  (* the family is split across the input list; the renderer must emit
+     its label sets contiguously or the validator flags interleaving *)
+  let text = render [ hist "a"; other; hist "b" ] in
+  (match validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validator: %s" e);
+  Alcotest.(check int) "one TYPE line for the split family" 1
+    (count_substring ~sub:"# TYPE om_grp histogram" text);
+  Alcotest.(check bool) "both label sets present" true
+    (count_substring ~sub:"om_grp_bucket{stage=\"a\"" text > 0
+    && count_substring ~sub:"om_grp_bucket{stage=\"b\"" text > 0)
+
+let openmetrics_mixed_kind_rejected () =
+  let open Obs.Openmetrics in
+  let c = { family = "om_mixed"; labels = []; help = None; data = Counter 1. } in
+  let g = { family = "om_mixed"; labels = []; help = None; data = Gauge 1. } in
+  match render [ c; g ] with
+  | (_ : string) -> Alcotest.fail "render accepted a family mixing counter and gauge"
+  | exception Invalid_argument _ -> ()
+
+let openmetrics_validator_rejects () =
+  let reject what text =
+    match Obs.Openmetrics.validate text with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "%s: validator accepted" what
+  in
+  reject "no trailing newline" "# EOF";
+  reject "missing terminal EOF" "# TYPE a counter\na_total 1\n";
+  reject "empty line" "# TYPE a counter\n\na_total 1\n# EOF\n";
+  reject "content after EOF" "# EOF\n# TYPE a counter\n";
+  reject "sample without TYPE" "a_total 1\n# EOF\n";
+  reject "interleaved families"
+    "# TYPE a counter\na_total 1\n# TYPE b counter\nb_total 1\na_total 2\n# EOF\n";
+  reject "counter sample without _total" "# TYPE a counter\na 1\n# EOF\n";
+  reject "histogram without +Inf"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_count 1\nh_sum 1\n# EOF\n";
+  reject "_count disagrees with +Inf"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_count 3\nh_sum 1\n# EOF\n";
+  reject "bucket counts decrease"
+    "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_count 3\nh_sum 1\n# EOF\n";
+  reject "exemplar on a gauge" "# TYPE g gauge\ng 1 # {trace_id=\"ab\"} 1\n# EOF\n";
+  reject "unknown comment" "# FOO bar\n# EOF\n";
+  reject "duplicate TYPE" "# TYPE a counter\n# TYPE a counter\na_total 1\n# EOF\n";
+  reject "unparsable sample value" "# TYPE a counter\na_total x\n# EOF\n";
+  match Obs.Openmetrics.validate "# TYPE a counter\na_total 1\n# EOF\n" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "minimal valid document rejected: %s" e
+
+let openmetrics_names () =
+  Alcotest.(check string) "dots become underscores" "service_stage_seconds"
+    (Obs.Openmetrics.sanitize_name "service.stage_seconds");
+  Alcotest.(check string) "leading digit masked" "_x" (Obs.Openmetrics.sanitize_name "9x");
+  let check_split what name expected =
+    let got = Obs.Openmetrics.split_name name in
+    Alcotest.(check (pair string (list (pair string string)))) what expected got
+  in
+  check_split "labeled name splits" "fam{stage=\"parse\",proc=\"3\"}"
+    ("fam", [ ("stage", "parse"); ("proc", "3") ]);
+  check_split "plain name passes through" "plain" ("plain", []);
+  check_split "malformed braces pass through whole" "bad{" ("bad{", [])
+
+let openmetrics_snapshot_roundtrip () =
+  with_flags ~metrics:true ~spans:false ~progress:false @@ fun () ->
+  let c = Obs.Metrics.counter "omtest.requests" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  let g = Obs.Metrics.gauge "omtest.depth" in
+  Obs.Metrics.set g 4.;
+  let h =
+    Obs.Metrics.histogram ~buckets:Obs.Metrics.latency_buckets
+      "omtest.stage_seconds{stage=\"parse\"}"
+  in
+  Obs.Metrics.observe_ex h ~exemplar:w3c_trace_id 0.0005;
+  let text =
+    Obs.Openmetrics.render (Obs.Openmetrics.of_snapshot (Obs.Metrics.snapshot ()))
+  in
+  (match Obs.Openmetrics.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validator rejected the snapshot exposition: %s" e);
+  let has what sub = Alcotest.(check bool) what true (count_substring ~sub text > 0) in
+  has "counter exposed with _total" "omtest_requests_total 2";
+  has "gauge exposed" "omtest_depth 4";
+  has "labeled histogram split into a stage label"
+    "omtest_stage_seconds_bucket{stage=\"parse\",le=";
+  has "exemplar attached" ("# {trace_id=\"" ^ w3c_trace_id ^ "\"} 0.0005")
+
 let () =
   let tc = Alcotest.test_case in
   Alcotest.run "obs"
@@ -471,5 +816,38 @@ let () =
         [
           tc "per-backend counts" `Quick engine_counts_per_backend;
           tc "sinks do not affect output" `Quick engine_output_independent_of_sinks;
+        ] );
+      ( "trace",
+        [
+          tc "mint and roundtrip" `Quick trace_mint_and_roundtrip;
+          tc "rejects malformed headers" `Quick trace_rejects_malformed;
+        ] );
+      ( "clock",
+        [
+          tc "monotone" `Quick clock_monotone;
+          tc "measures a sleep" `Quick clock_measures_sleep;
+        ] );
+      ( "window",
+        [
+          tc "quantile tracks recent samples" `Quick window_quantile_tracks_recent;
+          tc "empty window falls back" `Quick window_quantile_empty_falls_back;
+          tc "latency bucket preset" `Quick latency_buckets_preset;
+        ] );
+      ( "flight",
+        [
+          tc "lifecycle" `Quick flight_lifecycle;
+          tc "ring wraparound under concurrent writers" `Quick
+            flight_ring_wraparound_concurrent;
+          tc "timed with sinks off allocates nothing" `Quick
+            flight_timed_off_does_not_allocate;
+        ] );
+      ( "openmetrics",
+        [
+          tc "render golden" `Quick openmetrics_render_golden;
+          tc "families grouped" `Quick openmetrics_groups_families;
+          tc "mixed-kind family rejected" `Quick openmetrics_mixed_kind_rejected;
+          tc "validator rejects malformed documents" `Quick openmetrics_validator_rejects;
+          tc "name sanitizing and splitting" `Quick openmetrics_names;
+          tc "snapshot exposition roundtrip" `Quick openmetrics_snapshot_roundtrip;
         ] );
     ]

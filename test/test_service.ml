@@ -131,6 +131,7 @@ let named_job ?(schedules = [ Proto.Heuristic "HEFT" ]) ?(ul = 1.1) ?deadline_ms
     delta = None;
     gamma = None;
     deadline_ms;
+    trace = None;
   }
 
 let inline_job () =
@@ -147,6 +148,7 @@ let inline_job () =
     delta = Some 0.5;
     gamma = Some 1.001;
     deadline_ms = Some 60_000;
+    trace = None;
   }
 
 let proto_job_roundtrip () =
@@ -351,6 +353,133 @@ let server_restarts_after_stop () =
   let b = run_once () in
   Alcotest.(check string) "second server, same bytes" a b
 
+let server_propagates_trace () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          let tr = Obs.Trace.mint () in
+          let tid = tr.Obs.Trace.trace_id in
+          (match Client.eval ~traceparent:(Obs.Trace.to_traceparent tr) c (named_job ()) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          (* the record is published just after the response bytes go out,
+             so the ring can trail the client by a beat — poll briefly *)
+          let path = Printf.sprintf "/debug/requests?format=chrome&trace=%s" tid in
+          let rec poll n =
+            match Client.get c path with
+            | Ok resp when resp.Http.status = 200 && contains ~needle:tid resp.Http.body
+              ->
+              resp.Http.body
+            | (Ok _ | Error _) when n > 0 ->
+              Unix.sleepf 0.01;
+              poll (n - 1)
+            | Ok resp ->
+              Alcotest.failf "traced request never surfaced (last status %d)"
+                resp.Http.status
+            | Error e -> Alcotest.fail (Http.error_to_string e)
+          in
+          let chrome = poll 100 in
+          (* one request must decompose into the full linked stage tree *)
+          List.iter
+            (fun stage ->
+              Alcotest.(check bool) (stage ^ " stage present") true
+                (contains ~needle:(Printf.sprintf "\"name\":\"%s\"" stage) chrome))
+            [ "parse"; "admit"; "queue"; "batch"; "eval"; "encode"; "write" ];
+          (* the filtered export carries no other trace *)
+          let events =
+            let n = ref 0 and i = ref 0 in
+            let needle = "\"ph\":\"X\"" in
+            let len = String.length needle in
+            while !i + len <= String.length chrome do
+              if String.sub chrome !i len = needle then incr n;
+              incr i
+            done;
+            !n
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "request + >=5 stages under one trace (%d events)" events)
+            true (events >= 6);
+          let ids =
+            let n = ref 0 and i = ref 0 in
+            let len = String.length tid in
+            while !i + len <= String.length chrome do
+              if String.sub chrome !i len = tid then incr n;
+              incr i
+            done;
+            !n
+          in
+          Alcotest.(check int) "every event links the propagated trace id" events ids;
+          (* the JSON form shows the same record *)
+          match Client.get c "/debug/requests" with
+          | Ok resp ->
+            Alcotest.(check bool) "debug json lists the trace" true
+              (contains ~needle:tid resp.Http.body)
+          | Error e -> Alcotest.fail (Http.error_to_string e)))
+
+let server_exposes_openmetrics () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          (match Client.eval c (named_job ()) with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          (match Client.get c "/metrics?format=openmetrics" with
+          | Ok resp ->
+            Alcotest.(check int) "openmetrics status" 200 resp.Http.status;
+            (match Http.header "content-type" resp.Http.headers with
+            | Some ct ->
+              Alcotest.(check bool) "openmetrics content type" true
+                (contains ~needle:"application/openmetrics-text" ct)
+            | None -> Alcotest.fail "no content-type on /metrics?format=openmetrics");
+            (match Obs.Openmetrics.validate resp.Http.body with
+            | Ok () -> ()
+            | Error e -> Alcotest.failf "exposition fails its own validator: %s" e);
+            List.iter
+              (fun needle ->
+                Alcotest.(check bool) (needle ^ " exposed") true
+                  (contains ~needle resp.Http.body))
+              [
+                "service_requests_total";
+                "service_jobs_done_total";
+                "service_request_seconds_bucket";
+                "service_stage_seconds_bucket{stage=\"eval\"";
+                "# EOF";
+              ]
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          (* Accept-header negotiation selects the same representation *)
+          (match
+             Client.request c ~meth:"GET" ~path:"/metrics"
+               ~headers:[ ("accept", "application/openmetrics-text") ]
+               ()
+           with
+          | Ok resp ->
+            Alcotest.(check bool) "negotiated body is openmetrics" true
+              (contains ~needle:"# EOF" resp.Http.body)
+          | Error e -> Alcotest.fail (Http.error_to_string e));
+          (* without either signal the JSON form stays *)
+          match Client.get c "/metrics" with
+          | Ok resp ->
+            Alcotest.(check bool) "default stays json" true
+              (contains ~needle:"\"service\"" resp.Http.body)
+          | Error e -> Alcotest.fail (Http.error_to_string e)))
+
+let proto_trace_field_roundtrip () =
+  let tid = (Obs.Trace.mint ()).Obs.Trace.trace_id in
+  let job = { (named_job ()) with Proto.trace = Some tid } in
+  let json = Proto.job_to_json job in
+  Alcotest.(check bool) "trace serialized" true (contains ~needle:tid json);
+  (match Proto.job_of_json json with
+  | Ok j -> Alcotest.(check bool) "trace survives decode" true (j.Proto.trace = Some tid)
+  | Error e -> Alcotest.failf "decode: %s" e);
+  (* the trace is correlation metadata: it must not change the batch key *)
+  (match (Proto.context_of_job job, Proto.context_of_job (named_job ())) with
+  | Ok a, Ok b -> Alcotest.(check string) "key unaffected by trace" b.Proto.key a.Proto.key
+  | Error e, _ | _, Error e -> Alcotest.failf "context: %s" e);
+  match
+    Proto.job_of_json
+      {|{"workload":{"kind":"cholesky","n":10,"procs":3},"ul":1.1,"schedules":["HEFT"],"trace":"nope"}|}
+  with
+  | Ok _ -> Alcotest.fail "invalid trace id accepted"
+  | Error _ -> ()
+
 (* --- Stop scopes (shared by campaign + service) ------------------- *)
 
 let stop_scopes_compose () =
@@ -413,6 +542,7 @@ let () =
           tc "rejects invalid" `Quick proto_rejects_invalid;
           tc "deterministic" `Quick proto_eval_deterministic;
           tc "inline key" `Quick proto_inline_key_stable;
+          tc "trace field roundtrip" `Quick proto_trace_field_roundtrip;
         ] );
       ( "server",
         [
@@ -423,6 +553,8 @@ let () =
           tc "invalid requests" `Quick server_rejects_invalid_requests;
           tc "drain cancels queued" `Quick server_drain_cancels_queued;
           tc "serve-drain-serve" `Quick server_restarts_after_stop;
+          tc "trace propagation end to end" `Quick server_propagates_trace;
+          tc "openmetrics exposition" `Quick server_exposes_openmetrics;
         ] );
       ( "stop",
         [
