@@ -124,6 +124,23 @@ let shared_engine =
      Makespan.Engine.create ~graph:inst.E.Case.graph ~platform:inst.E.Case.platform
        ~model:inst.E.Case.model)
 
+(* incremental-session fixture: a warm session over the first schedule
+   of the random30 batch plus a small-cone single move — the last exit
+   task reassigned to the next processor (appending a sink is always
+   acyclic, and its cone stays small: the task itself plus the
+   disjunctive tail of the target row) *)
+let reeval_fixture =
+  lazy
+    (let inst, _ = Lazy.force random30 in
+     let _, scheds = Lazy.force sched_batch in
+     let sched = scheds.(0) in
+     let session = Makespan.Engine.start_session (Lazy.force shared_engine) sched in
+     let exits = Dag.Graph.exits inst.E.Case.graph in
+     let moved = exits.(Array.length exits - 1) in
+     let to_ = (sched.Sched.Schedule.proc_of.(moved) + 1) mod 8 in
+     ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_);
+     (session, moved, to_))
+
 let mc_batch fx count =
   let inst, sched = fx in
   Makespan.Montecarlo.realizations ~domains:1 ~rng:(Prng.Xoshiro.create 7L) ~count sched
@@ -464,6 +481,48 @@ let dist_tests =
       (Staged.stage (fun () ->
            let w = Lazy.force wide_partial in
            ignore (Distribution.Dist.mean w +. Distribution.Dist.std w)));
+    (* the direct-tier sum (64×64 ≤ the 4096-cell direct cutoff) runs on
+       unboxed floatarray work buffers; this kernel is that tier's
+       end-to-end cost — sample, flat direct convolution, grid rebuild *)
+    Test.make ~name:"dist:add-unboxed"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           ignore (Distribution.Dist.add u u)));
+    (* a 12-sum chain under Moment mode: past depth 8 every further sum
+       collapses to the CLT normal (moment arithmetic + one 64-point
+       normal sampling) instead of a convolution *)
+    Test.make ~name:"conv:moment-chain"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           Distribution.Dist.set_chain_mode (Distribution.Dist.Moment 8);
+           Fun.protect
+             ~finally:(fun () ->
+               Distribution.Dist.set_chain_mode Distribution.Dist.Exact)
+             (fun () ->
+               let d = ref u in
+               for _ = 1 to 12 do
+                 d := Distribution.Dist.add !d u
+               done;
+               ignore !d)));
+    (* the identical 12-sum chain on the exact path, for the ratio *)
+    Test.make ~name:"conv:exact-chain"
+      (Staged.stage (fun () ->
+           let u = Lazy.force uncertain in
+           let d = ref u in
+           for _ = 1 to 12 do
+             d := Distribution.Dist.add !d u
+           done;
+           ignore !d));
+  ]
+
+(* single-move incremental re-evaluation on the warm session; compare
+   against the full warm eval measured as live_classical_eval below *)
+let reeval_tests =
+  [
+    Test.make ~name:"engine:reeval-1move"
+      (Staged.stage (fun () ->
+           let session, moved, to_ = Lazy.force reeval_fixture in
+           ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_)));
   ]
 
 let conv_tests =
@@ -533,7 +592,7 @@ let run_benchmarks () =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
       (figure_tests @ engine_tests @ substrate_tests @ sched_tests @ dist_tests
-     @ conv_tests @ pool_tests)
+     @ conv_tests @ pool_tests @ reeval_tests)
   in
   (* the obs kernels measure overheads expected to sit near zero, so
      they get a longer quota and GC stabilization to push sampling noise
@@ -650,6 +709,26 @@ let measure_live_eval () =
   let per = float_of_int (iters * Array.length scheds) in
   (dt *. 1e9 /. per, dw /. per)
 
+(* live warm-session single-move re-evaluation: ns and minor words per
+   re-evaluated schedule, same case and protocol as [measure_live_eval]
+   (40 warm iterations) so the two numbers are directly comparable *)
+let measure_live_reeval () =
+  let session, moved, to_ = Lazy.force reeval_fixture in
+  let reeval () =
+    ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_)
+  in
+  reeval ();
+  let iters = 5 * batch_size in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to iters do
+    reeval ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dw = Gc.minor_words () -. w0 in
+  let per = float_of_int iters in
+  (dt *. 1e9 /. per, dw /. per)
+
 let write_dist_json kernels =
   let kernels =
     List.filter
@@ -657,10 +736,11 @@ let write_dist_json kernels =
         List.exists
           (fun p -> String.length name >= String.length p
                     && String.sub name 0 (String.length p) = p)
-          [ "dist:"; "conv:"; "pool:" ])
+          [ "dist:"; "conv:"; "pool:"; "engine:" ])
       kernels
   in
   let live_ns, live_words = measure_live_eval () in
+  let reeval_ns, reeval_words = measure_live_reeval () in
   let json_field (name, ns) =
     Printf.sprintf "    { \"name\": %S, \"ns\": %s }" name
       (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
@@ -678,6 +758,9 @@ let write_dist_json kernels =
     \  \"minor_alloc_drop_pct\": %.1f,\n\
     \  \"live_classical_eval_ns_per_schedule\": %.0f,\n\
     \  \"live_classical_eval_minor_words_per_schedule\": %.0f,\n\
+    \  \"reeval_1move_ns_per_schedule\": %.0f,\n\
+    \  \"reeval_1move_minor_words_per_schedule\": %.0f,\n\
+    \  \"reeval_speedup_vs_full_eval\": %.2f,\n\
     \  \"kernels\": [\n%s\n  ]\n\
      }\n"
     seed_baseline_ns_per_schedule seed_baseline_minor_words_per_schedule
@@ -685,7 +768,8 @@ let write_dist_json kernels =
     (seed_baseline_ns_per_schedule /. after_probe_ns_per_schedule)
     ((seed_baseline_minor_words_per_schedule -. live_words)
     /. seed_baseline_minor_words_per_schedule *. 100.)
-    live_ns live_words
+    live_ns live_words reeval_ns reeval_words
+    (if reeval_ns > 0. then live_ns /. reeval_ns else 0.)
     (String.concat ",\n" (List.map json_field kernels));
   close_out oc;
   Printf.printf "[wrote BENCH_dist.json]\n%!"
@@ -741,13 +825,14 @@ let write_sched_json results =
    kernels, short quotas, no figure reproduction. Still writes
    BENCH_dist.json and BENCH_sched.json. *)
 let perf_smoke () =
-  Printf.printf "================ perf smoke (dist/conv/pool/sched) ================\n\n";
+  Printf.printf
+    "================ perf smoke (dist/conv/pool/sched/reeval) ================\n\n";
   Printf.printf "%-36s  %14s\n" "kernel" "time/run";
   Printf.printf "%s\n" (String.make 52 '-');
   let kernels =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
-      (dist_tests @ conv_tests @ pool_tests @ sched_tests)
+      (dist_tests @ conv_tests @ pool_tests @ sched_tests @ reeval_tests)
   in
   write_dist_json kernels;
   write_sched_json kernels;

@@ -78,6 +78,36 @@ let fault_arg =
            $(docv) is 'point:action[@N][:k=v]...' clauses joined by ';', e.g. \
            $(b,runner.eval:fail@1) or $(b,pool.chunk:delay:p=0.01:seed=7:ms=5).")
 
+let moment_depth_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "moment-depth" ] ~docv:"K"
+        ~doc:
+          "Moment-space fast path: replace a sum of distributions whose combined \
+           convolution-chain depth reaches $(docv) (>= 2) by its CLT normal, with a \
+           certified Berry-Esseen error bound carried on every result. Default: exact \
+           convolution everywhere (bit-reproducible output).")
+
+let exact_arg =
+  Arg.(
+    value & flag
+    & info [ "exact" ]
+        ~doc:
+          "Force exact sampled convolution, overriding $(b,--moment-depth). This is \
+           already the default; the flag is the explicit escape hatch for scripts that \
+           must pin byte-reproducible output.")
+
+let setup_chain_mode ~exact ~moment_depth =
+  match (exact, moment_depth) with
+  | true, _ | false, None -> Distribution.Dist.set_chain_mode Distribution.Dist.Exact
+  | false, Some k ->
+    if k < 2 then begin
+      prerr_endline "repro: --moment-depth must be >= 2";
+      Stdlib.exit 2
+    end;
+    Distribution.Dist.set_chain_mode (Distribution.Dist.Moment k)
+
 let setup_logging verbosity =
   if verbosity > 0 then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -287,6 +317,42 @@ let parse_sched_token tok =
       | Some seed -> Ok (Service.Proto.Random { count; seed })
       | None -> Error (`Msg (Printf.sprintf "bad random seed in %S" tok)))
     | _ -> Error (`Msg (Printf.sprintf "bad random spec %S (random:COUNT[:SEED])" tok)))
+  | "neighbor" :: rest -> (
+    (* trailing integer fields are the move; everything before them is
+       the base scheduler name (which may itself contain ':', e.g. a
+       seeded tie-break composition) *)
+    let bad () =
+      Error
+        (`Msg (Printf.sprintf "bad neighbor spec %S (neighbor:BASE:TASK:PROC[:AT])" tok))
+    in
+    let make base task to_ at =
+      match Sched.Registry.parse base with
+      | Ok e ->
+        Ok (Service.Proto.Neighbor { base = e.Sched.Registry.name; task; to_; at })
+      | Error msg -> Error (`Msg msg)
+    in
+    match List.rev rest with
+    | c :: b :: a :: (_ :: _ as front) -> (
+      let without_at () =
+        match (int_of_string_opt b, int_of_string_opt c) with
+        | Some task, Some to_ when task >= 0 && to_ >= 0 ->
+          make (String.concat ":" (List.rev (a :: front))) task to_ None
+        | _ -> bad ()
+      in
+      match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c) with
+      | Some task, Some to_, Some at when task >= 0 && to_ >= 0 && at >= 0 -> (
+        (* both readings are syntactically possible when the base's own
+           name ends in an integer; prefer TASK:PROC:AT, fall back if
+           the shorter base is not a known scheduler *)
+        match make (String.concat ":" (List.rev front)) task to_ (Some at) with
+        | Ok _ as ok -> ok
+        | Error _ -> without_at ())
+      | _ -> without_at ())
+    | [ c; b; a ] -> (
+      match (int_of_string_opt b, int_of_string_opt c) with
+      | Some task, Some to_ when task >= 0 && to_ >= 0 -> make a task to_ None
+      | _ -> bad ())
+    | _ -> bad ())
   | _ -> (
     (* registry name, alias, or rank=...;select=... composition *)
     match Sched.Registry.parse tok with
@@ -309,7 +375,11 @@ let schedules_arg =
             (function
               | Service.Proto.Heuristic h -> h
               | Service.Proto.Random { count; seed } ->
-                Printf.sprintf "random:%d:%Ld" count seed)
+                Printf.sprintf "random:%d:%Ld" count seed
+              | Service.Proto.Neighbor { base; task; to_; at } -> (
+                match at with
+                | None -> Printf.sprintf "neighbor:%s:%d:%d" base task to_
+                | Some a -> Printf.sprintf "neighbor:%s:%d:%d:%d" base task to_ a))
             specs))
   in
   Arg.(
@@ -410,13 +480,15 @@ let eval_cmd =
           document (the byte-identical offline twin of POST /eval).")
     Term.(
       const (fun workload n procs ul seed backend mc_count mc_seed schedules slack
-                 delta gamma emit ->
+                 delta gamma emit moment_depth exact ->
+          setup_chain_mode ~exact ~moment_depth;
           run_eval
             (eval_job workload n procs ul seed backend mc_count mc_seed schedules
                slack delta gamma)
             emit)
       $ case_arg $ n_arg $ procs_arg $ ul_arg $ seed_arg $ backend_arg $ mc_count_arg
-      $ mc_seed_arg $ schedules_arg $ slack_arg $ delta_arg $ gamma_arg $ emit_arg)
+      $ mc_seed_arg $ schedules_arg $ slack_arg $ delta_arg $ gamma_arg $ emit_arg
+      $ moment_depth_arg $ exact_arg)
 
 let serve_cmd =
   let queue_arg =
@@ -690,15 +762,17 @@ let run_all ctx =
 
 let ctx_term =
   Term.(
-    const (fun scale domains seed out verbose trace metrics progress fault ->
+    const (fun scale domains seed out verbose trace metrics progress fault
+               moment_depth exact ->
         setup_logging (List.length verbose);
         if trace <> None then Obs.Span.set_enabled true;
         if metrics <> None then Obs.Metrics.set_enabled true;
         if progress then Obs.Progress.set_enabled true;
         Option.iter (fun spec -> Fault.configure ~spec) fault;
+        setup_chain_mode ~exact ~moment_depth;
         { scale; domains; seed; out; trace; metrics })
     $ scale_arg $ domains_arg $ seed_arg $ out_arg $ verbose_arg $ trace_arg
-    $ metrics_arg $ progress_arg $ fault_arg)
+    $ metrics_arg $ progress_arg $ fault_arg $ moment_depth_arg $ exact_arg)
 
 (* Telemetry sinks flush once, after the command body: the trace file
    holds every span of the run, the metrics file the merged registry

@@ -1,0 +1,55 @@
+(* Per-domain arena of unboxed [floatarray] work buffers — the flat
+   counterpart of the boxed [float array] arena in {!Dist}. [floatarray]
+   guarantees untagged flat storage independent of the float-array
+   optimization, which is what lets flambda keep the convolution
+   multiply–adds in vector registers. Buffers only hold data between a
+   fill and the grid-copy a few lines later (same discipline as the
+   boxed arena), so there is no lifecycle: every operation overwrites
+   freely, and buffers grow to the next power of two and stay. *)
+
+type arena = {
+  mutable a : floatarray;
+  mutable b : floatarray;
+  mutable c : floatarray;
+}
+
+let arena_key : arena Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { a = Float.Array.create 0; b = Float.Array.create 0; c = Float.Array.create 0 })
+
+let grow buf n =
+  if Float.Array.length buf >= n then buf
+  else Float.Array.make (Numerics.Array_ops.next_pow2 n) 0.
+
+let scratch_a n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.a n in
+  s.a <- r;
+  r
+
+let scratch_b n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.b n in
+  s.b <- r;
+  r
+
+let scratch_c n =
+  let s = Domain.DLS.get arena_key in
+  let r = grow s.c n in
+  s.c <- r;
+  r
+
+let of_array src =
+  let n = Array.length src in
+  let out = Float.Array.create n in
+  for i = 0 to n - 1 do
+    Float.Array.unsafe_set out i (Array.unsafe_get src i)
+  done;
+  out
+
+let blit_to_array src ~n dst =
+  if Float.Array.length src < n || Array.length dst < n then
+    invalid_arg "Flat.blit_to_array: buffer too short";
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i (Float.Array.unsafe_get src i)
+  done

@@ -1,0 +1,24 @@
+(** Per-domain arena of unboxed [floatarray] work buffers.
+
+    The flat counterpart of {!Dist}'s boxed scratch arena, backing the
+    unboxed kernel tier: sampled densities land here, the
+    {!Numerics.Convolution.direct_into_fa} kernel runs over them, and
+    the result is copied out into an exactly-sized grid. Buffers are
+    domain-local (safe under parallel sweeps) and grow to the next
+    power of two on demand. Contents are undefined between operations —
+    treat every buffer as uninitialized on acquisition. *)
+
+val scratch_a : int -> floatarray
+(** A buffer of at least [n] cells (first operand slot). *)
+
+val scratch_b : int -> floatarray
+(** Second operand slot. *)
+
+val scratch_c : int -> floatarray
+(** Result slot. *)
+
+val of_array : float array -> floatarray
+(** Fresh unboxed copy of a boxed array (bench/test helper). *)
+
+val blit_to_array : floatarray -> n:int -> float array -> unit
+(** Copy the first [n] cells out into a boxed array. *)

@@ -9,6 +9,22 @@
     method the paper selected after finding it as accurate as Dodin's and
     Spelde's on its cases (its degradation with graph size is Fig. 1). *)
 
+val update_node :
+  points:int ->
+  dgraph:Dag.Graph.t ->
+  task_dist:(task:int -> proc:int -> Distribution.Dist.t) ->
+  comm_dist:(volume:float -> src:int -> dst:int -> Distribution.Dist.t) ->
+  Sched.Schedule.t ->
+  Distribution.Dist.t array ->
+  int ->
+  unit
+(** Recompute one node's completion distribution in place from its
+    predecessors' entries in the given array — the single-node body of
+    {!completion_dists_with}, exposed so {!Engine.reevaluate} can replay
+    just a dirty cone and still produce bitwise-identical results (the
+    fold order over [Dag.Graph.preds] is the deterministic sorted
+    order). *)
+
 val completion_dists_with :
   points:int ->
   dgraph:Dag.Graph.t ->

@@ -54,6 +54,11 @@ type stats = {
   evals_dodin : int;
   evals_spelde : int;
   evals_montecarlo : int;
+  reevals : int;
+  reeval_incremental : int;
+  reeval_full : int;  (** fallbacks: cone over cutoff, or a non-incremental backend *)
+  reeval_cone_nodes : int;
+  reeval_max_cone : int;
 }
 
 (* Global observability mirrors of the per-engine counters: every engine
@@ -68,6 +73,9 @@ let m_evals_classical = Obs.Metrics.counter "engine.evals.classical"
 let m_evals_dodin = Obs.Metrics.counter "engine.evals.dodin"
 let m_evals_spelde = Obs.Metrics.counter "engine.evals.spelde"
 let m_evals_montecarlo = Obs.Metrics.counter "engine.evals.montecarlo"
+let m_reeval_incremental = Obs.Metrics.counter "engine.reeval_incremental"
+let m_reeval_full = Obs.Metrics.counter "engine.reeval_full"
+let m_reeval_cone_nodes = Obs.Metrics.counter "engine.reeval_cone_nodes"
 
 let span_name = function
   | Classical -> "engine.eval.classical"
@@ -98,6 +106,11 @@ type t = {
   comm_misses : int Atomic.t;
   evals : int Atomic.t;
   evals_by_backend : int Atomic.t array; (* Classical, Dodin, Spelde, Montecarlo *)
+  reevals : int Atomic.t;
+  reeval_incremental : int Atomic.t;
+  reeval_full : int Atomic.t;
+  reeval_cone_nodes : int Atomic.t;
+  reeval_max_cone : int Atomic.t;
   scratch : scratch Domain.DLS.key;
 }
 
@@ -136,6 +149,11 @@ let create ~graph ~platform ~model =
     comm_misses = Atomic.make 0;
     evals = Atomic.make 0;
     evals_by_backend = Array.init 4 (fun _ -> Atomic.make 0);
+    reevals = Atomic.make 0;
+    reeval_incremental = Atomic.make 0;
+    reeval_full = Atomic.make 0;
+    reeval_cone_nodes = Atomic.make 0;
+    reeval_max_cone = Atomic.make 0;
     scratch = Domain.DLS.new_key (fun () -> { dists = [||]; pairs = [||] });
   }
 
@@ -154,6 +172,11 @@ let stats t =
     evals_dodin = Atomic.get t.evals_by_backend.(1);
     evals_spelde = Atomic.get t.evals_by_backend.(2);
     evals_montecarlo = Atomic.get t.evals_by_backend.(3);
+    reevals = Atomic.get t.reevals;
+    reeval_incremental = Atomic.get t.reeval_incremental;
+    reeval_full = Atomic.get t.reeval_full;
+    reeval_cone_nodes = Atomic.get t.reeval_cone_nodes;
+    reeval_max_cone = Atomic.get t.reeval_max_cone;
   }
 
 let reset_stats t =
@@ -162,7 +185,15 @@ let reset_stats t =
   Atomic.set t.comm_hits 0;
   Atomic.set t.comm_misses 0;
   Atomic.set t.evals 0;
-  Array.iter (fun a -> Atomic.set a 0) t.evals_by_backend
+  Array.iter (fun a -> Atomic.set a 0) t.evals_by_backend;
+  (* the reeval/cone counters are part of the same phase measurement and
+     must reset with the rest, or back-to-back benchmark phases inherit
+     ghost cone totals *)
+  Atomic.set t.reevals 0;
+  Atomic.set t.reeval_incremental 0;
+  Atomic.set t.reeval_full 0;
+  Atomic.set t.reeval_cone_nodes 0;
+  Atomic.set t.reeval_max_cone 0
 
 (* ------------------------------------------------------------------ *)
 (* Cached distribution views                                           *)
@@ -310,17 +341,18 @@ type evaluation = {
   slack : Sched.Slack.summary;
 }
 
-let analyze_parts t backend slack_mode sched =
-  let dgraph = Sched.Disjunctive.graph_of sched in
-  let makespan = dist_of_backend t ~dgraph backend sched in
+let slack_of t slack_mode ~dgraph sched =
   let slack () =
     match slack_mode with
     | `Disjunctive -> Sched.Slack.of_weighted_graph dgraph (mean_weights t sched)
     | `Precedence -> Sched.Slack.compute ~mode:`Precedence sched t.platform t.model
   in
-  let slack =
-    if Obs.Span.enabled () then Obs.Span.with_ ~name:"engine.slack" slack else slack ()
-  in
+  if Obs.Span.enabled () then Obs.Span.with_ ~name:"engine.slack" slack else slack ()
+
+let analyze_parts t backend slack_mode sched =
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let makespan = dist_of_backend t ~dgraph backend sched in
+  let slack = slack_of t slack_mode ~dgraph sched in
   { makespan; slack }
 
 let analyze ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
@@ -330,3 +362,230 @@ let analyze ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
     Obs.Span.with_ ~name:(span_name backend) (fun () ->
         analyze_parts t backend slack_mode sched)
   else analyze_parts t backend slack_mode sched
+
+(* ------------------------------------------------------------------ *)
+(* Incremental re-evaluation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* A session pins one schedule of the case and keeps its per-node
+   completion state (distributions for Classical, moments for Spelde)
+   alive between evaluations, so a one-task move only recomputes the
+   dirty downstream cone. Sessions own their arrays — they never touch
+   the engine's domain-local scratch, which full [analyze] calls keep
+   using — but they are NOT thread-safe: use one session per domain.
+
+   Dirty cone, for a move of task [m] from processor rows (o → d) with
+   old disjunctive graph G and patched graph G':
+     seeds  = { m } ∪ { v | preds_G'(v) ≠ preds_G(v) as task sequences }
+     dirty  = downward closure of seeds under G' successors
+   Seeds cover every input change of the classical recursion: the moved
+   task's duration and incoming-comm processors change at [m] itself;
+   outgoing-comm source-processor changes surface at successors of [m],
+   which the closure marks dirty because [m] is; and any node whose
+   disjunctive predecessor list grew, shrank, or reordered is a seed by
+   the sequence comparison (pred arrays are sorted by task id, so the
+   comparison — and the downstream fold order — is deterministic).
+   Everything else sees bitwise-identical inputs and keeps its stored
+   value, which is why [reevaluate] agrees bitwise with a fresh
+   [analyze] of the patched schedule. *)
+
+type session = {
+  engine : t;
+  backend : backend;
+  slack_mode : Sched.Slack.graph_mode;
+  mutable sched : Sched.Schedule.t;
+  mutable dgraph : Dag.Graph.t;
+  s_completion : Distribution.Dist.t array;  (* Classical; [||] otherwise *)
+  s_moments : Distribution.Normal_pair.t array;  (* Spelde; [||] otherwise *)
+  dirty : bool array;
+  mutable last : evaluation;
+}
+
+let session_task_dist t ~task ~proc = task_dist t ~task ~proc
+let session_comm_dist t ~volume ~src ~dst = comm_dist t ~volume ~src ~dst
+
+let session_task_moments t ~task ~proc =
+  Distribution.Normal_pair.make ~mean:(task_mean t ~task ~proc)
+    ~std:(task_std t ~task ~proc)
+
+let session_comm_moments t ~volume ~src ~dst =
+  Distribution.Normal_pair.make ~mean:(comm_mean t ~volume ~src ~dst)
+    ~std:(comm_std t ~volume ~src ~dst)
+
+(* Full sweep into the session-owned arrays (same bits as the engine's
+   scratch-array sweep in [dist_of_backend]). *)
+let full_makespan t backend ~dgraph ~completion ~moments sched =
+  match backend with
+  | Classical ->
+    ignore
+      (Classic.completion_dists_with ~points:t.points ~dgraph ~completion
+         ~task_dist:(fun ~task ~proc -> session_task_dist t ~task ~proc)
+         ~comm_dist:(fun ~volume ~src ~dst -> session_comm_dist t ~volume ~src ~dst)
+         sched
+        : Distribution.Dist.t array);
+    Classic.makespan_of_exits ~points:t.points dgraph completion
+  | Spelde ->
+    let m =
+      Spelde.moments_with ~dgraph ~completion:moments
+        ~task_moments:(fun ~task ~proc -> session_task_moments t ~task ~proc)
+        ~comm_moments:(fun ~volume ~src ~dst -> session_comm_moments t ~volume ~src ~dst)
+        sched
+    in
+    Distribution.Normal_pair.to_normal ~points:t.points m
+  | (Dodin | Montecarlo _) as backend -> dist_of_backend t ~dgraph backend sched
+
+let start_session ?(backend = Classical) ?(slack_mode = `Disjunctive) t sched =
+  check_schedule t sched;
+  count_eval t backend;
+  let n = t.n_tasks in
+  let dgraph = Sched.Disjunctive.graph_of sched in
+  let s_completion =
+    match backend with
+    | Classical -> Array.make n (Distribution.Dist.const 0.)
+    | _ -> [||]
+  in
+  let s_moments =
+    match backend with
+    | Spelde -> Array.make n (Distribution.Normal_pair.const 0.)
+    | _ -> [||]
+  in
+  let makespan =
+    full_makespan t backend ~dgraph ~completion:s_completion ~moments:s_moments sched
+  in
+  let slack = slack_of t slack_mode ~dgraph sched in
+  {
+    engine = t;
+    backend;
+    slack_mode;
+    sched;
+    dgraph;
+    s_completion;
+    s_moments;
+    dirty = Array.make n false;
+    last = { makespan; slack };
+  }
+
+let session_schedule s = s.sched
+let session_evaluation s = s.last
+let session_backend s = s.backend
+
+let same_pred_seq a b =
+  Array.length a = Array.length b
+  &&
+  let n = Array.length a in
+  let rec eq i = i >= n || (fst a.(i) = fst b.(i) && eq (i + 1)) in
+  eq 0
+
+let rec bump_max a v =
+  let cur = Atomic.get a in
+  if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
+
+(* Mark dirty nodes in [session.dirty]; returns the cone size. *)
+let mark_dirty_cone session ~moved ~dgraph' =
+  let dirty = session.dirty in
+  Array.fill dirty 0 (Array.length dirty) false;
+  dirty.(moved) <- true;
+  let n = Array.length dirty in
+  for v = 0 to n - 1 do
+    if
+      (not dirty.(v))
+      && not (same_pred_seq (Dag.Graph.preds session.dgraph v) (Dag.Graph.preds dgraph' v))
+    then dirty.(v) <- true
+  done;
+  let cone = ref 0 in
+  Array.iter
+    (fun v ->
+      if not dirty.(v) then begin
+        if Array.exists (fun (p, _) -> dirty.(p)) (Dag.Graph.preds dgraph' v) then
+          dirty.(v) <- true
+      end;
+      if dirty.(v) then incr cone)
+    (Dag.Graph.topo_order dgraph');
+  !cone
+
+let reevaluate ?(commit = true) ?max_cone ?at session ~moved ~to_ =
+  let t = session.engine in
+  let n = t.n_tasks in
+  let max_cone = match max_cone with Some c -> c | None -> max 1 (n / 2) in
+  let sched' = Sched.Schedule.reassign ?at session.sched ~task:moved ~to_ in
+  let dgraph' = Sched.Disjunctive.graph_of sched' in
+  count_eval t session.backend;
+  Atomic.incr t.reevals;
+  let incremental_backend =
+    match session.backend with Classical | Spelde -> true | Dodin | Montecarlo _ -> false
+  in
+  let cone = if incremental_backend then mark_dirty_cone session ~moved ~dgraph' else n in
+  let incremental = incremental_backend && cone <= max_cone in
+  if incremental then begin
+    Atomic.incr t.reeval_incremental;
+    ignore (Atomic.fetch_and_add t.reeval_cone_nodes cone : int);
+    bump_max t.reeval_max_cone cone;
+    Obs.Metrics.incr m_reeval_incremental;
+    Obs.Metrics.add m_reeval_cone_nodes cone
+  end
+  else begin
+    Atomic.incr t.reeval_full;
+    Obs.Metrics.incr m_reeval_full
+  end;
+  let saved = ref [] in
+  let makespan =
+    if incremental then begin
+      let dirty = session.dirty in
+      (match session.backend with
+      | Classical ->
+        let completion = session.s_completion in
+        Array.iter
+          (fun v ->
+            if dirty.(v) then begin
+              if not commit then saved := (v, `Dist completion.(v)) :: !saved;
+              Classic.update_node ~points:t.points ~dgraph:dgraph'
+                ~task_dist:(fun ~task ~proc -> session_task_dist t ~task ~proc)
+                ~comm_dist:(fun ~volume ~src ~dst -> session_comm_dist t ~volume ~src ~dst)
+                sched' completion v
+            end)
+          (Dag.Graph.topo_order dgraph');
+        Classic.makespan_of_exits ~points:t.points dgraph' completion
+      | Spelde ->
+        let moments = session.s_moments in
+        Array.iter
+          (fun v ->
+            if dirty.(v) then begin
+              if not commit then saved := (v, `Pair moments.(v)) :: !saved;
+              Spelde.update_node ~dgraph:dgraph'
+                ~task_moments:(fun ~task ~proc -> session_task_moments t ~task ~proc)
+                ~comm_moments:(fun ~volume ~src ~dst ->
+                  session_comm_moments t ~volume ~src ~dst)
+                sched' moments v
+            end)
+          (Dag.Graph.topo_order dgraph');
+        Distribution.Normal_pair.to_normal ~points:t.points
+          (Spelde.moments_of_exits ~dgraph:dgraph' moments)
+      | Dodin | Montecarlo _ -> assert false)
+    end
+    else if commit then
+      full_makespan t session.backend ~dgraph:dgraph' ~completion:session.s_completion
+        ~moments:session.s_moments sched'
+    else
+      (* keep the session arrays intact: run the fallback through the
+         engine's domain-local scratch, exactly like [analyze] *)
+      dist_of_backend t ~dgraph:dgraph' session.backend sched'
+  in
+  let slack = slack_of t session.slack_mode ~dgraph:dgraph' sched' in
+  let ev = { makespan; slack } in
+  if commit then begin
+    session.sched <- sched';
+    session.dgraph <- dgraph';
+    session.last <- ev
+  end
+  else
+    List.iter
+      (fun (v, old) ->
+        match old with
+        | `Dist d -> session.s_completion.(v) <- d
+        | `Pair p -> session.s_moments.(v) <- p)
+      !saved;
+  ev
+
+let reevaluate_move ?commit ?max_cone session (m : Sched.Neighbor.move) =
+  reevaluate ?commit ?max_cone ?at:m.Sched.Neighbor.at session ~moved:m.Sched.Neighbor.task
+    ~to_:m.Sched.Neighbor.to_

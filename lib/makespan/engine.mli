@@ -74,6 +74,62 @@ val analyze :
     slack levels. [`Precedence] slack falls back to {!Sched.Slack.compute},
     which needs the plain DAG and a simulated reference makespan. *)
 
+(** {1 Incremental re-evaluation}
+
+    A {!session} pins one schedule and keeps its per-node completion
+    state (distributions for [Classical], moments for [Spelde]) alive,
+    so re-evaluating a one-task move only recomputes the dirty
+    downstream cone — the difference between local / adversarial search
+    being feasible or not. The cone is the closure, under the patched
+    disjunctive graph's successors, of the moved task plus every node
+    whose predecessor sequence changed; nodes outside it see
+    bitwise-identical inputs and keep their stored values, so
+    {!reevaluate} agrees {e bitwise} with a fresh {!analyze} of the
+    patched schedule. Cones above [max_cone] (default: half the task
+    count), [Dodin] (a global series–parallel reduction) and
+    [Montecarlo] fall back to a full evaluation — same bits, no
+    speedup — counted under [reeval_full].
+
+    Sessions own their arrays (full {!analyze} calls on the same engine
+    are unaffected) but are NOT thread-safe: use one session per
+    domain. *)
+
+type session
+
+val start_session :
+  ?backend:backend -> ?slack_mode:Sched.Slack.graph_mode -> t -> Sched.Schedule.t -> session
+(** Full evaluation of the starting schedule, retaining per-node state.
+    Counts as one [analyze] in {!stats}. *)
+
+val session_schedule : session -> Sched.Schedule.t
+(** The schedule the session currently pins (updated by committing
+    re-evaluations). *)
+
+val session_evaluation : session -> evaluation
+(** The last committed evaluation. *)
+
+val session_backend : session -> backend
+
+val reevaluate :
+  ?commit:bool ->
+  ?max_cone:int ->
+  ?at:int ->
+  session ->
+  moved:int ->
+  to_:int ->
+  evaluation
+(** Evaluation of the one-move neighbor [Schedule.reassign ?at sched
+    ~task:moved ~to_], recomputing only the dirty cone when the backend
+    allows it. [commit] (default true) advances the session to the
+    neighbor; [commit:false] evaluates and restores the previous state,
+    so many neighbors can be probed off one base schedule. Raises
+    [Invalid_argument] if the move would deadlock the eager execution
+    (session state is untouched in that case). *)
+
+val reevaluate_move :
+  ?commit:bool -> ?max_cone:int -> session -> Sched.Neighbor.move -> evaluation
+(** {!reevaluate} on a packaged {!Sched.Neighbor.move}. *)
+
 (** {1 Cached views}
 
     Accessors into the engine's caches — used by the evaluation cores
@@ -97,11 +153,18 @@ type stats = {
   task_misses : int;  (** filled (task, proc) duration cells *)
   comm_hits : int;
   comm_misses : int;  (** distinct communication weights built *)
-  evals : int;  (** total [eval]/[analyze] calls *)
+  evals : int;  (** total [eval]/[analyze]/[reevaluate] calls *)
   evals_classical : int;
   evals_dodin : int;
   evals_spelde : int;
   evals_montecarlo : int;
+  reevals : int;  (** total {!reevaluate} calls *)
+  reeval_incremental : int;  (** served by a dirty-cone replay *)
+  reeval_full : int;
+      (** fell back to a full sweep: cone over [max_cone], or a
+          non-incremental backend (Dodin, Monte-Carlo) *)
+  reeval_cone_nodes : int;  (** total dirty nodes over incremental reevals *)
+  reeval_max_cone : int;  (** largest incremental cone seen *)
 }
 
 val stats : t -> stats

@@ -3,6 +3,23 @@
     add moments, maxima use Clark's formulas — no convolution at all.
     The result is a normal approximation of the makespan distribution. *)
 
+val update_node :
+  dgraph:Dag.Graph.t ->
+  task_moments:(task:int -> proc:int -> Distribution.Normal_pair.t) ->
+  comm_moments:(volume:float -> src:int -> dst:int -> Distribution.Normal_pair.t) ->
+  Sched.Schedule.t ->
+  Distribution.Normal_pair.t array ->
+  int ->
+  unit
+(** Recompute one node's completion moments in place from its
+    predecessors' entries — the single-node body of {!moments_with},
+    exposed for {!Engine.reevaluate}'s dirty-cone replay (same
+    [List.map]/[max_list] fold order, so results stay bitwise equal). *)
+
+val moments_of_exits :
+  dgraph:Dag.Graph.t -> Distribution.Normal_pair.t array -> Distribution.Normal_pair.t
+(** Clark-max over the exit tasks' completion moments. *)
+
 val moments_with :
   dgraph:Dag.Graph.t ->
   ?completion:Distribution.Normal_pair.t array ->

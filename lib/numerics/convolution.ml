@@ -30,6 +30,61 @@ let direct_into ~out a n b m =
       done
   done
 
+(* Unboxed tier: the same direct kernel over [floatarray] prefixes.
+   [floatarray] is guaranteed flat unboxed storage with no per-element
+   tag dispatch, so flambda can keep the inner multiply–add loop in
+   registers and vectorize it. The accumulation order is IDENTICAL to
+   [direct_into] (i-outer, j-inner, zero-skip on [ai]), so results are
+   bit-for-bit equal to the boxed kernel — callers may switch tiers
+   freely without perturbing reproducible outputs. *)
+let direct_into_fa ~out a n b m =
+  if n = 0 || m = 0 then invalid_arg "Convolution.direct: empty input";
+  if Float.Array.length a < n || Float.Array.length b < m then
+    invalid_arg "Convolution.direct_into_fa: prefix longer than operand";
+  Float.Array.fill out 0 (n + m - 1) 0.;
+  for i = 0 to n - 1 do
+    let ai = Float.Array.unsafe_get a i in
+    if ai <> 0. then
+      for j = 0 to m - 1 do
+        Float.Array.unsafe_set out (i + j)
+          (Float.Array.unsafe_get out (i + j) +. (ai *. Float.Array.unsafe_get b j))
+      done
+  done
+
+(* Moment-space fast path for long convolution chains. After enough
+   convolutions the partial sum is CLT-normal (the paper's Figs. 7–8:
+   ≈5–10 convolutions already look normal), so past a depth threshold
+   the chain can switch from sampled convolution to moment arithmetic —
+   μ and σ² add, and the result is materialized as a sampled normal.
+   The explicit accuracy certificate is the Berry–Esseen inequality for
+   independent, non-identically distributed summands:
+
+     sup_x |F_S(x) − Φ((x−μ)/σ)| ≤ C₀ · (Σᵢ ρᵢ) / (Σᵢ σᵢ²)^{3/2}
+
+   with ρᵢ = E|Xᵢ−μᵢ|³ and C₀ = 0.56 (Shevtsova 2010). Treating an
+   already-accumulated partial sum as a single summand keeps the bound
+   valid — the inequality holds for any decomposition into independent
+   parts — so a two-operand step bound composes by the triangle
+   inequality with whatever error the operands already carry
+   (Kolmogorov distance is non-expansive under both convolution and
+   independent maxima). *)
+module Moment_chain = struct
+  let c0 = 0.56
+
+  let bound ~rho3 ~var =
+    if var <= 0. || not (Float.is_finite var) then 1.
+    else Float.min 1. (c0 *. rho3 /. (var *. sqrt var))
+
+  let normal_pdf_into ~out ~n ~lo ~dx ~mean ~std =
+    if std <= 0. then invalid_arg "Moment_chain.normal_pdf_into: std must be positive";
+    if Array.length out < n then invalid_arg "Moment_chain.normal_pdf_into: buffer too short";
+    let inv = 1. /. (std *. sqrt (2. *. Float.pi)) in
+    for k = 0 to n - 1 do
+      let d = (lo +. (float_of_int k *. dx) -. mean) /. std in
+      Array.unsafe_set out k (inv *. exp (-0.5 *. d *. d))
+    done
+end
+
 (* Per-domain workspace: transform buffers are reused across calls (one
    set per power-of-two size, zeroed before use), so the distribution
    algebra's hot path — thousands of small convolutions per schedule

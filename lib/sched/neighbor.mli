@@ -1,0 +1,36 @@
+(** Single-move schedule neighborhoods.
+
+    A {!move} reassigns one task to a (processor, position); applying it
+    patches the schedule in O(row) via {!Schedule.reassign} instead of a
+    full rebuild. This is the currency of incremental re-evaluation
+    ([Makespan.Engine.reevaluate]), the service's neighbor job specs,
+    and local-search schedulers. *)
+
+type move = {
+  task : int;  (** task to move *)
+  to_ : int;  (** destination processor *)
+  at : int option;
+      (** position in the destination order row, counted {e after} the
+          task is removed from its current row; [None] appends *)
+}
+
+val make : ?at:int -> task:int -> to_:int -> unit -> move
+
+val apply : Schedule.t -> move -> Schedule.t
+(** Patched schedule. Raises [Invalid_argument] if the move is out of
+    range or would deadlock the eager execution. *)
+
+val apply_opt : Schedule.t -> move -> Schedule.t option
+(** [apply] with infeasible moves mapped to [None]. *)
+
+val is_noop : Schedule.t -> move -> bool
+(** True when applying the move reproduces the same assignment and
+    order (same processor, same resulting position). *)
+
+val random : ?attempts:int -> rng:Prng.Xoshiro.t -> Schedule.t -> move
+(** A random feasible move, deterministic in [rng]. Infeasible draws are
+    retried up to [attempts] times (default 64) before falling back to a
+    guaranteed-feasible same-processor append. *)
+
+val to_string : move -> string
+(** ["12->p3"] or ["12->p3@0"] — for labels and logs. *)

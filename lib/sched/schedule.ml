@@ -115,6 +115,59 @@ let validate t =
     Ok ()
   with Invalid_argument msg -> Error msg
 
+(* A one-move neighbor: remove [task] from its processor's order row and
+   insert it into [to_]'s row (at [at], default append). Only the two
+   affected rows are rebuilt; all other rows, [graph], and the untouched
+   prefix of the invariants are shared with the original value — this is
+   the cheap patched constructor behind [Sched.Neighbor] and
+   [Engine.reevaluate]. Acyclicity must still be re-checked (a move can
+   create an order/precedence deadlock), which is O(V+E) scalar work. *)
+let reassign ?at t ~task ~to_ =
+  let n = Dag.Graph.n_tasks t.graph in
+  if task < 0 || task >= n then invalid_arg "Schedule.reassign: task out of range";
+  if to_ < 0 || to_ >= t.n_procs then
+    invalid_arg "Schedule.reassign: processor out of range";
+  let from = t.proc_of.(task) in
+  let removed =
+    let row = t.order.(from) in
+    let out = Array.make (Array.length row - 1) 0 in
+    let j = ref 0 in
+    Array.iter
+      (fun v ->
+        if v <> task then begin
+          out.(!j) <- v;
+          incr j
+        end)
+      row;
+    out
+  in
+  let insert row =
+    let len = Array.length row in
+    let pos =
+      match at with
+      | None -> len
+      | Some p ->
+        if p < 0 || p > len then invalid_arg "Schedule.reassign: position out of range";
+        p
+    in
+    let out = Array.make (len + 1) task in
+    Array.blit row 0 out 0 pos;
+    Array.blit row pos out (pos + 1) (len - pos);
+    out
+  in
+  let order = Array.copy t.order in
+  order.(from) <- removed;
+  (* same-proc moves insert into the already-shrunk row, so [at] always
+     indexes the row without [task] in it *)
+  order.(to_) <- insert order.(to_);
+  let proc_of = Array.copy t.proc_of in
+  proc_of.(task) <- to_;
+  let pos_in_proc = Array.copy t.pos_in_proc in
+  Array.iteri (fun i v -> pos_in_proc.(v) <- i) order.(from);
+  Array.iteri (fun i v -> pos_in_proc.(v) <- i) order.(to_);
+  check_acyclic t.graph order;
+  { t with proc_of; order; pos_in_proc }
+
 let proc_pred t v =
   let pos = t.pos_in_proc.(v) in
   if pos = 0 then None else Some t.order.(t.proc_of.(v)).(pos - 1)

@@ -28,6 +28,16 @@ val of_assignment_sequence :
     a list-scheduling trace: tasks in the order they were scheduled, each
     appended to its processor's order. *)
 
+val reassign : ?at:int -> t -> task:Dag.Graph.task -> to_:Platform.proc -> t
+(** [reassign ?at t ~task ~to_] is the one-move neighbor of [t]: [task]
+    is removed from its current processor's order and inserted into
+    [to_]'s order at position [at] (default: appended). [at] indexes the
+    target row {e after} removal, so same-processor repositioning works
+    uniformly. Only the two affected order rows are rebuilt — everything
+    else is shared with [t] — but acyclicity is re-checked and
+    [Invalid_argument] raised if the move would deadlock the eager
+    execution. *)
+
 val validate : t -> (unit, string) result
 (** Re-check the invariants of an already-built schedule: every task
     assigned exactly once, per-processor exclusivity (order rows

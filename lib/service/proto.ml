@@ -19,6 +19,11 @@ type workload =
 type sched_spec =
   | Heuristic of string
   | Random of { count : int; seed : int64 }
+  | Neighbor of { base : string; task : int; to_ : int; at : int option }
+      (* one-move variation of a heuristic's schedule: task reassigned to
+         processor [to_] (inserted at slot [at], appended if absent).
+         Served through an incremental engine session — byte-identical to
+         a full evaluation of the patched schedule, only cheaper. *)
 
 type job = {
   workload : workload;
@@ -221,9 +226,8 @@ let sched_spec_of_json j =
        respond under one stable name *)
     Result.map (fun e -> Heuristic e.Sched.Registry.name) (resolve_scheduler name)
   | Json.Obj _ -> (
-    match Json.mem "random" j with
-    | None -> Error "schedules[]: expected a heuristic name or {\"random\": {...}}"
-    | Some r ->
+    match (Json.mem "random" j, Json.mem "neighbor" j) with
+    | Some r, _ ->
       let* count = Result.bind (field "count" r) (as_int "schedules[].random.count") in
       let* count = in_range "schedules[].random.count" 0 max_random_count count in
       let* seed =
@@ -231,12 +235,43 @@ let sched_spec_of_json j =
         | None -> Ok 0L
         | Some s -> as_int64 "schedules[].random.seed" s
       in
-      Ok (Random { count; seed }))
-  | _ -> Error "schedules[]: expected a heuristic name or {\"random\": {...}}"
+      Ok (Random { count; seed })
+    | None, Some nb ->
+      let* base = Result.bind (field "base" nb) (as_str "schedules[].neighbor.base") in
+      let* base =
+        Result.map (fun e -> e.Sched.Registry.name) (resolve_scheduler base)
+      in
+      let* task = Result.bind (field "task" nb) (as_int "schedules[].neighbor.task") in
+      let* () =
+        if task >= 0 then Ok () else Error "schedules[].neighbor.task: must be >= 0"
+      in
+      let* to_ = Result.bind (field "to" nb) (as_int "schedules[].neighbor.to") in
+      let* () =
+        if to_ >= 0 then Ok () else Error "schedules[].neighbor.to: must be >= 0"
+      in
+      let* at =
+        match opt_field "at" nb with
+        | None -> Ok None
+        | Some a ->
+          let* a = as_int "schedules[].neighbor.at" a in
+          if a >= 0 then Ok (Some a)
+          else Error "schedules[].neighbor.at: must be >= 0"
+      in
+      Ok (Neighbor { base; task; to_; at })
+    | None, None ->
+      Error
+        "schedules[]: expected a heuristic name, {\"random\": {...}} or \
+         {\"neighbor\": {...}}")
+  | _ ->
+    Error
+      "schedules[]: expected a heuristic name, {\"random\": {...}} or \
+       {\"neighbor\": {...}}"
 
 let total_schedules specs =
   List.fold_left
-    (fun acc s -> acc + match s with Heuristic _ -> 1 | Random { count; _ } -> count)
+    (fun acc s ->
+      acc
+      + match s with Heuristic _ | Neighbor _ -> 1 | Random { count; _ } -> count)
     0 specs
 
 let job_of_fields j =
@@ -381,6 +416,14 @@ let sched_spec_to_json = function
           Json.Obj
             [ ("count", num_of_int count); ("seed", Json.Str (Int64.to_string seed)) ] );
       ]
+  | Neighbor { base; task; to_; at } ->
+    Json.Obj
+      [
+        ( "neighbor",
+          Json.Obj
+            ([ ("base", Json.Str base); ("task", num_of_int task); ("to", num_of_int to_) ]
+            @ match at with None -> [] | Some a -> [ ("at", num_of_int a) ]) );
+      ]
 
 let job_to_json job =
   let base =
@@ -457,24 +500,54 @@ let context_of_job job =
 (* Evaluation                                                          *)
 (* ------------------------------------------------------------------ *)
 
+let run_base name graph platform =
+  match Sched.Registry.parse name with
+  | Ok e -> e.Sched.Registry.run graph platform
+  | Error msg ->
+    (* unreachable: specs are canonicalized during decoding *)
+    invalid_arg ("Proto.expand_schedules: " ^ msg)
+
+let neighbor_label ~base ~task ~to_ ~at =
+  match at with
+  | None -> Printf.sprintf "neighbor:%s:%d:%d" base task to_
+  | Some a -> Printf.sprintf "neighbor:%s:%d:%d:%d" base task to_ a
+
 (* Labeled schedules in spec order. Each random spec owns one RNG, so
    schedule [i] of a seed is stable whatever else the job asks for. *)
 let expand_schedules job graph platform =
   List.concat_map
     (function
-      | Heuristic name -> (
-        match Sched.Registry.parse name with
-        | Ok e -> [ (name, e.Sched.Registry.run graph platform) ]
-        | Error msg ->
-          (* unreachable: specs are canonicalized during decoding *)
-          invalid_arg ("Proto.expand_schedules: " ^ msg))
+      | Heuristic name -> [ (name, run_base name graph platform) ]
       | Random { count; seed } ->
         let rng = Prng.Xoshiro.create seed in
         let scheds =
           Sched.Random_sched.generate_many ~rng ~graph
             ~n_procs:(Platform.n_procs platform) ~count
         in
-        List.mapi (fun i s -> (Printf.sprintf "random:%Ld:%d" seed i, s)) scheds)
+        List.mapi (fun i s -> (Printf.sprintf "random:%Ld:%d" seed i, s)) scheds
+      | Neighbor { base; task; to_; at } ->
+        let b = run_base base graph platform in
+        [ (neighbor_label ~base ~task ~to_ ~at, Sched.Schedule.reassign ?at b ~task ~to_) ])
+    job.schedules
+
+(* Rows coming from Neighbor specs: (row index, base name, move). The
+   worker serves these through one engine session per distinct base
+   instead of a full sweep per row. *)
+let neighbor_rows job =
+  let idx = ref 0 in
+  List.concat_map
+    (fun spec ->
+      match spec with
+      | Heuristic _ ->
+        incr idx;
+        []
+      | Random { count; _ } ->
+        idx := !idx + count;
+        []
+      | Neighbor { base; task; to_; at } ->
+        let i = !idx in
+        incr idx;
+        [ (i, base, Sched.Neighbor.make ?at ~task ~to_ ()) ])
     job.schedules
 
 let metrics_to_json (m : Robustness.t) =
@@ -509,14 +582,42 @@ let run_job ?flight ~engine job =
     Obs.Flight.timed ?record:flight ~stage:"eval" (fun () ->
         let labeled = Array.of_list (expand_schedules job graph platform) in
         let n = Array.length labeled in
+        (* Neighbor rows first, through one incremental session per
+           distinct base: the base is evaluated once in full, then every
+           neighbor is an uncommitted [reevaluate] against it. Response
+           bytes cannot change — the session path agrees bitwise with a
+           fresh full evaluation of the patched schedule (property-tested
+           in test_engine) — only the repeated full sweeps go away. *)
+        let pre = Array.make n None in
+        (match neighbor_rows job with
+        | [] -> ()
+        | rows ->
+          let sessions = Hashtbl.create 4 in
+          List.iter
+            (fun (i, base, move) ->
+              let session =
+                match Hashtbl.find_opt sessions base with
+                | Some s -> s
+                | None ->
+                  let s =
+                    Engine.start_session ~backend ~slack_mode engine
+                      (run_base base graph platform)
+                  in
+                  Hashtbl.add sessions base s;
+                  s
+              in
+              pre.(i) <- Some (Engine.reevaluate_move ~commit:false session move))
+            rows);
+        let eval_row i =
+          match pre.(i) with
+          | Some e -> e
+          | None -> Engine.analyze ~backend ~slack_mode engine (snd labeled.(i))
+        in
         (* pilot calibration on this job's own first schedules (≤ 20), exactly
            the Runner scheme — independent of whatever else shares the engine,
            so batching can never change response bytes *)
         let pilot_n = Int.min 20 n in
-        let pilot_evals =
-          Array.init pilot_n (fun i ->
-              Engine.analyze ~backend ~slack_mode engine (snd labeled.(i)))
-        in
+        let pilot_evals = Array.init pilot_n eval_row in
         let delta, gamma =
           match (job.delta, job.gamma) with
           | Some d, Some g -> (d, g)
@@ -534,10 +635,7 @@ let run_job ?flight ~engine job =
         in
         let rows =
           Parallel.Par_array.init ~chunk_size:16 n (fun i ->
-              let e =
-                if i < pilot_n then pilot_evals.(i)
-                else Engine.analyze ~backend ~slack_mode engine (snd labeled.(i))
-              in
+              let e = if i < pilot_n then pilot_evals.(i) else eval_row i in
               let m =
                 Robustness.compute ~delta ~gamma ~makespan_dist:e.Engine.makespan
                   ~slack:e.Engine.slack ()

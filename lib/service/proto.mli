@@ -29,6 +29,17 @@ type workload =
 type sched_spec =
   | Heuristic of string  (** HEFT | BIL | Hyb.BMCT | CPOP | DLS *)
   | Random of { count : int; seed : int64 }
+  | Neighbor of { base : string; task : int; to_ : int; at : int option }
+      (** one-move variation of heuristic [base]'s schedule: [task]
+          reassigned to processor [to_], inserted at slot [at] (appended
+          when absent). Wire form
+          [{"neighbor": {"base", "task", "to", "at"?}}]. The worker
+          serves all neighbors of one base through a single incremental
+          engine session ({!Makespan.Engine.start_session}) — the base
+          is evaluated once in full and each neighbor by an uncommitted
+          {!Makespan.Engine.reevaluate}, which agrees bitwise with a
+          full evaluation of the patched schedule, so response bytes are
+          unchanged by the fast path. *)
 
 type job = {
   workload : workload;

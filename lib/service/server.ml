@@ -74,6 +74,11 @@ type stats = {
   engines_created : int;
   engine_task_hits : int;
   engine_task_misses : int;
+  engine_reevals : int;
+  engine_reeval_incremental : int;
+  engine_reeval_full : int;
+  engine_reeval_cone_nodes : int;
+  engine_reeval_max_cone : int;
   queue_depth : int;
 }
 
@@ -330,14 +335,20 @@ let worker_loop t =
 (* ------------------------------------------------------------------ *)
 
 let stats t =
-  let task_hits, task_misses =
+  let task_hits, task_misses, reevals, reeval_inc, reeval_full, cone_nodes, max_cone =
     Mutex.lock t.emu;
     let totals =
       List.fold_left
-        (fun (h, m) (_, e) ->
+        (fun (h, m, r, ri, rf, cn, mc) (_, e) ->
           let s = Engine.stats e in
-          (h + s.Engine.task_hits, m + s.Engine.task_misses))
-        (0, 0) t.engines
+          ( h + s.Engine.task_hits,
+            m + s.Engine.task_misses,
+            r + s.Engine.reevals,
+            ri + s.Engine.reeval_incremental,
+            rf + s.Engine.reeval_full,
+            cn + s.Engine.reeval_cone_nodes,
+            Int.max mc s.Engine.reeval_max_cone ))
+        (0, 0, 0, 0, 0, 0, 0) t.engines
     in
     Mutex.unlock t.emu;
     totals
@@ -359,6 +370,11 @@ let stats t =
     engines_created = Atomic.get t.c.c_engines_created;
     engine_task_hits = task_hits;
     engine_task_misses = task_misses;
+    engine_reevals = reevals;
+    engine_reeval_incremental = reeval_inc;
+    engine_reeval_full = reeval_full;
+    engine_reeval_cone_nodes = cone_nodes;
+    engine_reeval_max_cone = max_cone;
     queue_depth = depth;
   }
 
@@ -404,6 +420,11 @@ let metrics_body t =
         ("engines_created", num_of_int s.engines_created);
         ("engine_task_hits", num_of_int s.engine_task_hits);
         ("engine_task_misses", num_of_int s.engine_task_misses);
+        ("engine_reevals", num_of_int s.engine_reevals);
+        ("engine_reeval_incremental", num_of_int s.engine_reeval_incremental);
+        ("engine_reeval_full", num_of_int s.engine_reeval_full);
+        ("engine_reeval_cone_nodes", num_of_int s.engine_reeval_cone_nodes);
+        ("engine_reeval_max_cone", num_of_int s.engine_reeval_max_cone);
         ("latency_p50_s", q 0.5);
         ("latency_p99_s", q 0.99);
       ]
@@ -456,8 +477,19 @@ let openmetrics_body t =
         s.engine_task_hits;
       counter "service_engine_task_misses" "Task-level cache misses over live engines"
         s.engine_task_misses;
+      counter "service_engine_reevals" "Single-move re-evaluations over live engines"
+        s.engine_reevals;
+      counter "service_engine_reevals_incremental"
+        "Re-evaluations served by a dirty-cone replay" s.engine_reeval_incremental;
+      counter "service_engine_reevals_full"
+        "Re-evaluations that fell back to a full sweep" s.engine_reeval_full;
+      counter "service_engine_reeval_cone_nodes"
+        "Dirty nodes recomputed across incremental re-evaluations"
+        s.engine_reeval_cone_nodes;
       gauge "service_queue_capacity" "Job-queue bound" t.config.queue_capacity;
       gauge "service_max_batch" "Largest batch so far" s.max_batch;
+      gauge "service_engine_reeval_max_cone" "Largest incremental dirty cone seen"
+        s.engine_reeval_max_cone;
     ]
   in
   Obs.Openmetrics.render

@@ -99,6 +99,11 @@ type stats = {
   engines_created : int;
   engine_task_hits : int;  (** summed over live engines *)
   engine_task_misses : int;
+  engine_reevals : int;  (** single-move re-evaluations, summed over live engines *)
+  engine_reeval_incremental : int;  (** served by a dirty-cone replay *)
+  engine_reeval_full : int;  (** fell back to a full sweep *)
+  engine_reeval_cone_nodes : int;  (** dirty nodes recomputed, summed *)
+  engine_reeval_max_cone : int;  (** largest incremental cone over live engines *)
   queue_depth : int;  (** current *)
 }
 

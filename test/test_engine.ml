@@ -183,6 +183,173 @@ let parallel_sweep_matches_sequential () =
       check_close (Printf.sprintf "parallel std %d" i) (Distribution.Dist.std d) sigma)
     parallel
 
+(* --- incremental re-evaluation --- *)
+
+let bits = Int64.bits_of_float
+
+let dist_bits_equal name a b =
+  let xa, pa = Distribution.Dist.to_arrays a in
+  let xb, pb = Distribution.Dist.to_arrays b in
+  if Array.length xa <> Array.length xb then
+    Alcotest.failf "%s: grid sizes differ (%d vs %d)" name (Array.length xa)
+      (Array.length xb);
+  Array.iteri
+    (fun i x ->
+      if bits x <> bits xb.(i) then Alcotest.failf "%s: x[%d] %h <> %h" name i x xb.(i))
+    xa;
+  Array.iteri
+    (fun i p ->
+      if bits p <> bits pb.(i) then Alcotest.failf "%s: pdf[%d] %h <> %h" name i p pb.(i))
+    pa
+
+let slack_bits_equal name (a : Sched.Slack.summary) (b : Sched.Slack.summary) =
+  if
+    bits a.Sched.Slack.total <> bits b.Sched.Slack.total
+    || bits a.Sched.Slack.std <> bits b.Sched.Slack.std
+    || bits a.Sched.Slack.makespan <> bits b.Sched.Slack.makespan
+  then Alcotest.failf "%s: slack summary differs" name;
+  Array.iteri
+    (fun i v ->
+      if bits v <> bits b.Sched.Slack.per_task.(i) then
+        Alcotest.failf "%s: slack per_task[%d]" name i)
+    a.Sched.Slack.per_task
+
+let eval_bits_equal name (a : Makespan.Engine.evaluation) (b : Makespan.Engine.evaluation) =
+  dist_bits_equal (name ^ " makespan") a.Makespan.Engine.makespan b.Makespan.Engine.makespan;
+  slack_bits_equal name a.Makespan.Engine.slack b.Makespan.Engine.slack
+
+(* The tentpole property: a session's [reevaluate] must agree BITWISE
+   with a fresh full [analyze] of the patched schedule, over a long
+   random walk of committed single moves — including moves that grow or
+   shrink the disjunctive graph, explicit no-op (same proc, same
+   position) moves, and uncommitted probes that must leave the session
+   state untouched. *)
+let reevaluate_walk backend steps () =
+  let rng = Tutil.rng_of_seed 42 in
+  let graph = Workloads.Random_dag.generate ~rng ~n:14 () in
+  let n_tasks = Dag.Graph.n_tasks graph in
+  let n_procs = 3 in
+  let platform = Platform.Gen.uniform_minval ~rng ~n_tasks ~n_procs () in
+  let engine = engine_of (graph, platform) in
+  let sched = ref (Sched.Random_sched.generate ~rng ~graph ~n_procs) in
+  let session = Makespan.Engine.start_session ~backend engine !sched in
+  eval_bits_equal "session start"
+    (Makespan.Engine.analyze ~backend engine !sched)
+    (Makespan.Engine.session_evaluation session);
+  for step = 1 to steps do
+    let m =
+      if step mod 10 = 0 then begin
+        (* explicit no-op: reinsert a task at its current position *)
+        let task = Prng.Xoshiro.int rng n_tasks in
+        let open Sched.Schedule in
+        Sched.Neighbor.make ~at:(!sched).pos_in_proc.(task) ~task
+          ~to_:(!sched).proc_of.(task) ()
+      end
+      else Sched.Neighbor.random ~rng !sched
+    in
+    (* probe without committing, then verify the session still serves
+       the base schedule's bits *)
+    if step mod 7 = 0 then begin
+      let probe = Makespan.Engine.reevaluate_move ~commit:false session m in
+      eval_bits_equal
+        (Printf.sprintf "step %d probe" step)
+        (Makespan.Engine.analyze ~backend engine (Sched.Neighbor.apply !sched m))
+        probe;
+      eval_bits_equal
+        (Printf.sprintf "step %d base intact after probe" step)
+        (Makespan.Engine.analyze ~backend engine !sched)
+        (Makespan.Engine.session_evaluation session)
+    end;
+    let ev = Makespan.Engine.reevaluate_move session m in
+    sched := Sched.Neighbor.apply !sched m;
+    eval_bits_equal
+      (Printf.sprintf "step %d (%s)" step (Sched.Neighbor.to_string m))
+      (Makespan.Engine.analyze ~backend engine !sched)
+      ev
+  done;
+  (match backend with
+  | Makespan.Engine.Classical | Makespan.Engine.Spelde ->
+    Alcotest.(check bool) "some moves served incrementally" true
+      ((Makespan.Engine.stats engine).Makespan.Engine.reeval_incremental > 0)
+  | _ ->
+    Alcotest.(check int) "non-incremental backend always falls back" 0
+      (Makespan.Engine.stats engine).Makespan.Engine.reeval_incremental);
+  (* committed steps plus the uncommitted probes every 7th step *)
+  Alcotest.(check int) "every move counted"
+    (steps + (steps / 7))
+    (Makespan.Engine.stats engine).Makespan.Engine.reevals
+
+let cutoff_forces_full_fallback () =
+  let graph, platform, s1, _ = fixture () in
+  let engine = engine_of (graph, platform) in
+  let session = Makespan.Engine.start_session engine s1 in
+  let rng = Tutil.rng_of_seed 19 in
+  let m = Sched.Neighbor.random ~rng s1 in
+  let ev = Makespan.Engine.reevaluate_move ~max_cone:0 session m in
+  eval_bits_equal "cutoff fallback bits"
+    (Makespan.Engine.analyze engine (Sched.Neighbor.apply s1 m))
+    ev;
+  let st = Makespan.Engine.stats engine in
+  Alcotest.(check int) "counted as full" 1 st.Makespan.Engine.reeval_full;
+  Alcotest.(check int) "not counted as incremental" 0 st.Makespan.Engine.reeval_incremental
+
+let reset_stats_clears_reeval_counters () =
+  let graph, platform, s1, _ = fixture () in
+  let engine = engine_of (graph, platform) in
+  let session = Makespan.Engine.start_session engine s1 in
+  let rng = Tutil.rng_of_seed 23 in
+  ignore (Makespan.Engine.reevaluate_move ~commit:false session (Sched.Neighbor.random ~rng s1));
+  ignore
+    (Makespan.Engine.reevaluate_move ~commit:false ~max_cone:0 session
+       (Sched.Neighbor.random ~rng s1));
+  let st = Makespan.Engine.stats engine in
+  Alcotest.(check bool) "reevals counted before reset" true (st.Makespan.Engine.reevals = 2);
+  Alcotest.(check bool) "cone nodes accumulated" true
+    (st.Makespan.Engine.reeval_cone_nodes > 0 || st.Makespan.Engine.reeval_incremental = 0);
+  Makespan.Engine.reset_stats engine;
+  let st = Makespan.Engine.stats engine in
+  Alcotest.(check int) "reevals cleared" 0 st.Makespan.Engine.reevals;
+  Alcotest.(check int) "incremental cleared" 0 st.Makespan.Engine.reeval_incremental;
+  Alcotest.(check int) "full cleared" 0 st.Makespan.Engine.reeval_full;
+  Alcotest.(check int) "cone nodes cleared" 0 st.Makespan.Engine.reeval_cone_nodes;
+  Alcotest.(check int) "max cone cleared" 0 st.Makespan.Engine.reeval_max_cone
+
+(* CI allocation bound: re-evaluating a small-cone one-move neighbor
+   must allocate at most a fifth of a full evaluation (it should be far
+   less — the bound is deliberately loose so CI noise cannot trip it). *)
+let reeval_allocation_bound () =
+  let rng = Tutil.rng_of_seed 31 in
+  let graph = Workloads.Random_dag.generate ~rng ~n:30 () in
+  let n_tasks = Dag.Graph.n_tasks graph in
+  let platform = Platform.Gen.uniform_minval ~rng ~n_tasks ~n_procs:8 () in
+  let engine = engine_of (graph, platform) in
+  let sched = Sched.Random_sched.generate ~rng ~graph ~n_procs:8 in
+  let session = Makespan.Engine.start_session engine sched in
+  let exits = Dag.Graph.exits graph in
+  let moved = exits.(Array.length exits - 1) in
+  let to_ = (sched.Sched.Schedule.proc_of.(moved) + 1) mod 8 in
+  (* warm both paths (duration/comm caches, scratch growth) *)
+  ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_);
+  ignore (Makespan.Engine.analyze engine sched);
+  let iters = 5 in
+  let words_of f =
+    let before = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Gc.minor_words () -. before) /. float_of_int iters
+  in
+  let reeval_words =
+    words_of (fun () ->
+        ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_))
+  in
+  let full_words = words_of (fun () -> ignore (Makespan.Engine.analyze engine sched)) in
+  Alcotest.(check bool) "probe served incrementally" true
+    ((Makespan.Engine.stats engine).Makespan.Engine.reeval_incremental > 0);
+  if reeval_words > full_words /. 5. then
+    Alcotest.failf "1-move reeval allocates %.0f words vs %.0f full (bound: 1/5)"
+      reeval_words full_words
+
 (* --- Runner pilot fallback (count = 0) --- *)
 
 let runner_zero_count_falls_back_to_heuristics () =
@@ -231,6 +398,21 @@ let () =
         [
           Alcotest.test_case "shared engine under domains" `Quick
             parallel_sweep_matches_sequential;
+        ] );
+      ( "reevaluate",
+        [
+          Alcotest.test_case "classical walk == analyze (bitwise)" `Slow
+            (reevaluate_walk Makespan.Engine.Classical 200);
+          Alcotest.test_case "spelde walk == analyze (bitwise)" `Slow
+            (reevaluate_walk Makespan.Engine.Spelde 200);
+          Alcotest.test_case "dodin walk == analyze (bitwise)" `Slow
+            (reevaluate_walk Makespan.Engine.Dodin 200);
+          Alcotest.test_case "cone cutoff falls back bitwise" `Quick
+            cutoff_forces_full_fallback;
+          Alcotest.test_case "reset_stats clears reeval counters" `Quick
+            reset_stats_clears_reeval_counters;
+          Alcotest.test_case "1-move reeval allocation bound" `Slow
+            reeval_allocation_bound;
         ] );
       ( "runner",
         [

@@ -197,6 +197,74 @@ let proto_eval_deterministic () =
   | Ok a, Ok b -> Alcotest.(check string) "identical bytes" a b
   | Error e, _ | _, Error e -> Alcotest.failf "eval failed: %s" e
 
+(* Neighbor specs go through the worker's incremental-session fast path
+   (one full base evaluation + an uncommitted cone replay per row). The
+   served numbers must be byte-for-byte those of a fresh full evaluation
+   of the patched schedule — the fast path is a latency optimization,
+   never a semantic one. *)
+let proto_neighbor_rows_match_fresh_eval () =
+  let base_job = named_job () in
+  let ctx =
+    match Proto.context_of_job base_job with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  (* move a sink task: appending it to any processor order is always
+     precedence-feasible, so every target processor is a valid neighbor *)
+  let exits = Dag.Graph.exits ctx.Proto.graph in
+  let task = exits.(Array.length exits - 1) in
+  let targets = [ 0; 1; 2 ] in
+  let job =
+    {
+      base_job with
+      Proto.schedules =
+        Proto.Heuristic "HEFT"
+        :: List.map (fun to_ -> Proto.Neighbor { base = "HEFT"; task; to_; at = None }) targets;
+    }
+  in
+  let body = match Proto.eval job with Ok b -> b | Error e -> Alcotest.fail e in
+  (match Proto.eval job with
+  | Ok again -> Alcotest.(check string) "deterministic bytes" body again
+  | Error e -> Alcotest.fail e);
+  let engine =
+    Makespan.Engine.create ~graph:ctx.Proto.graph ~platform:ctx.Proto.platform
+      ~model:ctx.Proto.model
+  in
+  let base =
+    match Sched.Registry.parse "HEFT" with
+    | Ok e -> e.Sched.Registry.run ctx.Proto.graph ctx.Proto.platform
+    | Error e -> Alcotest.fail e
+  in
+  List.iter
+    (fun to_ ->
+      let s = Sched.Schedule.reassign base ~task ~to_ in
+      let e =
+        Makespan.Engine.analyze ~backend:Makespan.Engine.Classical
+          ~slack_mode:`Disjunctive engine s
+      in
+      let d = e.Makespan.Engine.makespan in
+      let row =
+        Printf.sprintf
+          {|{"source":"neighbor:HEFT:%d:%d","makespan":{"mean":%s,"std":%s,"q05":%s,"q50":%s,"q95":%s}|}
+          task to_
+          (Experiments.Json.float_lit (Distribution.Dist.mean d))
+          (Experiments.Json.float_lit (Distribution.Dist.std d))
+          (Experiments.Json.float_lit (Distribution.Dist.quantile d 0.05))
+          (Experiments.Json.float_lit (Distribution.Dist.quantile d 0.5))
+          (Experiments.Json.float_lit (Distribution.Dist.quantile d 0.95))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "neighbor row to proc %d equals fresh eval" to_)
+        true
+        (contains ~needle:row body))
+    targets;
+  (* the neighbor spec round-trips through the wire format *)
+  match Proto.job_of_json (Proto.job_to_json job) with
+  | Ok back ->
+    Alcotest.(check string) "neighbor json roundtrip" (Proto.job_to_json job)
+      (Proto.job_to_json back)
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e
+
 let proto_inline_key_stable () =
   let j1 = inline_job () and j2 = inline_job () in
   match (Proto.context_of_job j1, Proto.context_of_job j2) with
@@ -439,6 +507,8 @@ let server_exposes_openmetrics () =
               [
                 "service_requests_total";
                 "service_jobs_done_total";
+                "service_engine_reevals_total";
+                "service_engine_reeval_max_cone";
                 "service_request_seconds_bucket";
                 "service_stage_seconds_bucket{stage=\"eval\"";
                 "# EOF";
@@ -460,6 +530,41 @@ let server_exposes_openmetrics () =
             Alcotest.(check bool) "default stays json" true
               (contains ~needle:"\"service\"" resp.Http.body)
           | Error e -> Alcotest.fail (Http.error_to_string e)))
+
+(* Serving a neighbor job must route through engine sessions: the
+   always-on stats expose the reevaluation counters. *)
+let server_counts_neighbor_reevals () =
+  with_server (fun t ->
+      with_client t (fun c ->
+          let base_job = named_job () in
+          let ctx =
+            match Proto.context_of_job base_job with
+            | Ok x -> x
+            | Error e -> Alcotest.fail e
+          in
+          let exits = Dag.Graph.exits ctx.Proto.graph in
+          let task = exits.(Array.length exits - 1) in
+          let job =
+            {
+              base_job with
+              Proto.schedules =
+                [
+                  Proto.Neighbor { base = "HEFT"; task; to_ = 0; at = None };
+                  Proto.Neighbor { base = "HEFT"; task; to_ = 1; at = None };
+                ];
+            }
+          in
+          (match Client.eval c job with
+          | Ok _ -> ()
+          | Error e -> Alcotest.fail e);
+          let s = Server.stats t in
+          Alcotest.(check bool) "reevals counted" true (s.Server.engine_reevals >= 2);
+          Alcotest.(check int) "every reeval is incremental or full"
+            s.Server.engine_reevals
+            (s.Server.engine_reeval_incremental + s.Server.engine_reeval_full);
+          Alcotest.(check bool) "cone stats coherent" true
+            (s.Server.engine_reeval_cone_nodes >= 0
+            && s.Server.engine_reeval_max_cone >= 0)))
 
 let proto_trace_field_roundtrip () =
   let tid = (Obs.Trace.mint ()).Obs.Trace.trace_id in
@@ -541,6 +646,7 @@ let () =
           tc "job roundtrip" `Quick proto_job_roundtrip;
           tc "rejects invalid" `Quick proto_rejects_invalid;
           tc "deterministic" `Quick proto_eval_deterministic;
+          tc "neighbor rows = fresh eval" `Quick proto_neighbor_rows_match_fresh_eval;
           tc "inline key" `Quick proto_inline_key_stable;
           tc "trace field roundtrip" `Quick proto_trace_field_roundtrip;
         ] );
@@ -555,6 +661,7 @@ let () =
           tc "serve-drain-serve" `Quick server_restarts_after_stop;
           tc "trace propagation end to end" `Quick server_propagates_trace;
           tc "openmetrics exposition" `Quick server_exposes_openmetrics;
+          tc "neighbor jobs count reevals" `Quick server_counts_neighbor_reevals;
         ] );
       ( "stop",
         [
