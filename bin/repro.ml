@@ -501,6 +501,23 @@ let serve_cmd =
       value & opt int 4
       & info [ "conns" ] ~docv:"N" ~doc:"Connection-handler domains.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Evaluation worker shards: each owns a private job queue, engine \
+             cache and slice of the evaluation pool; jobs are consistent-hashed \
+             to shards by batch key.")
+  in
+  let admit_on_conn_arg =
+    Arg.(
+      value & flag
+      & info [ "admit-on-conn" ]
+          ~doc:
+            "Build job contexts on the connection domains (the pre-fix admission \
+             placement). Only for A/B benchmarks of the contention it causes.")
+  in
   let grace_arg =
     Arg.(
       value & opt float 5.0
@@ -524,7 +541,7 @@ let serve_cmd =
           /debug/requests (flight recorder). Same-case jobs are batched onto \
           shared engines. SIGINT/SIGTERM drains gracefully.")
     Term.(
-      const (fun host port queue conns grace slow_ms ->
+      const (fun host port queue conns workers admit_on_conn grace slow_ms ->
           Service.Server.serve_forever
             {
               Service.Server.default_config with
@@ -532,10 +549,13 @@ let serve_cmd =
               port;
               queue_capacity = queue;
               conn_domains = conns;
+              workers;
+              conn_admit = admit_on_conn;
               drain_grace_s = grace;
               slow_ms;
             })
-      $ host_arg $ port_arg 8123 $ queue_arg $ conns_arg $ grace_arg $ slow_ms_arg)
+      $ host_arg $ port_arg 8123 $ queue_arg $ conns_arg $ workers_arg
+      $ admit_on_conn_arg $ grace_arg $ slow_ms_arg)
 
 let loadgen_cmd =
   let concurrency_arg =
@@ -599,6 +619,32 @@ let loadgen_cmd =
             "After the load, send one traced request (traceparent header) and \
              save its Chrome trace from /debug/requests to $(docv).")
   in
+  let sweep_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "workers-sweep" ] ~docv:"N,N,..."
+          ~doc:
+            "Instead of hitting a running server, drive the whole 1→N worker \
+             scaling curve in-process: one fresh server per worker count (plus \
+             the pre-fix --admit-on-conn baseline), closed-loop load over \
+             --keys distinct cases, admit-stage p99 from the metrics snapshot, \
+             and a byte-for-byte check of every response against repro eval. \
+             --concurrency and --requests apply per point; --host/--port are \
+             ignored.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "keys" ] ~docv:"N"
+          ~doc:"Sweep only: distinct cases (batch keys) in the job mix.")
+  in
+  let task_n_arg =
+    Arg.(
+      value & opt int 24
+      & info [ "task-n" ] ~docv:"N"
+          ~doc:"Sweep only: target task count per case (sizes the admit cost).")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
@@ -606,19 +652,32 @@ let loadgen_cmd =
           open-loop Poisson arrivals; reports throughput, client latency \
           quantiles, optional SLO attainment and the server's own counters.")
     Term.(
-      const (fun host port concurrency requests out arrival slo_ms trace_out ->
+      const
+        (fun host port concurrency requests out arrival slo_ms trace_out sweep keys
+             task_n ->
           let report =
-            Service.Loadgen.run
-              {
-                Service.Loadgen.host;
-                port;
-                concurrency;
-                requests;
-                job = Service.Loadgen.default_job ();
-                arrival;
-                slo_ms;
-                trace_out;
-              }
+            match sweep with
+            | Some worker_counts ->
+              Service.Loadgen.sweep
+                {
+                  Service.Loadgen.worker_counts;
+                  sweep_concurrency = concurrency;
+                  sweep_requests = requests;
+                  keys;
+                  task_n;
+                }
+            | None ->
+              Service.Loadgen.run
+                {
+                  Service.Loadgen.host;
+                  port;
+                  concurrency;
+                  requests;
+                  job = Service.Loadgen.default_job ();
+                  arrival;
+                  slo_ms;
+                  trace_out;
+                }
           in
           print_string report;
           let oc = open_out out in
@@ -626,7 +685,7 @@ let loadgen_cmd =
           close_out oc;
           Printf.eprintf "[wrote %s]\n%!" out)
       $ host_arg $ port_arg 8123 $ concurrency_arg $ requests_arg $ bench_out_arg
-      $ arrival_arg $ slo_ms_arg $ trace_out_arg)
+      $ arrival_arg $ slo_ms_arg $ trace_out_arg $ sweep_arg $ keys_arg $ task_n_arg)
 
 let top_cmd =
   let interval_arg =

@@ -48,7 +48,7 @@ type record = {
 let max_stages = 32
 let next_seq = Atomic.make 0
 
-let create ?trace_id ~meth ~path () =
+let create ?trace_id ?started_wall_s ~meth ~path () =
   let trace_id =
     match trace_id with Some id -> id | None -> (Trace.mint ()).Trace.trace_id
   in
@@ -57,7 +57,8 @@ let create ?trace_id ~meth ~path () =
     trace_id;
     meth;
     path;
-    started_wall_s = Unix.gettimeofday ();
+    started_wall_s =
+      (match started_wall_s with Some s -> s | None -> Unix.gettimeofday ());
     t_start_us = Clock.now_us ();
     t_end_us = 0.;
     queued_us = 0.;
@@ -84,42 +85,48 @@ let add_stage r ~stage t0_us t1_us =
 (* Per-stage latency histograms (+ trace-id exemplars)                  *)
 (* ------------------------------------------------------------------ *)
 
-(* Registered lazily per stage name under the OpenMetrics label
-   convention: one family [service.stage_seconds] with a [stage] label,
-   parsed back out by Obs.Openmetrics. *)
+(* Registered lazily per (stage, shard) under the OpenMetrics label
+   convention: one family [service.stage_seconds] with a [stage] label
+   (plus a [shard] label for stages executed on a sharded worker
+   domain), parsed back out by Obs.Openmetrics. The [stage] label comes
+   first so scrapers grepping [{stage="eval"] keep matching whether or
+   not a shard label follows. *)
 let hist_lock = Mutex.create ()
 let hists : (string, Metrics.histogram) Hashtbl.t = Hashtbl.create 16
 
-let stage_hist stage =
+let stage_hist ?shard stage =
+  let name =
+    match shard with
+    | None -> Printf.sprintf "service.stage_seconds{stage=%S}" stage
+    | Some k -> Printf.sprintf "service.stage_seconds{stage=%S,shard=\"%d\"}" stage k
+  in
   Mutex.protect hist_lock (fun () ->
-      match Hashtbl.find_opt hists stage with
+      match Hashtbl.find_opt hists name with
       | Some h -> h
       | None ->
-        let h =
-          Metrics.histogram ~buckets:Metrics.latency_buckets
-            (Printf.sprintf "service.stage_seconds{stage=%S}" stage)
-        in
-        Hashtbl.add hists stage h;
+        let h = Metrics.histogram ~buckets:Metrics.latency_buckets name in
+        Hashtbl.add hists name h;
         h)
 
-let record_stage record ~stage t0_us t1_us =
+let record_stage ?shard record ~stage t0_us t1_us =
   (match record with None -> () | Some r -> add_stage r ~stage t0_us t1_us);
   if Metrics.enabled () then
-    Metrics.observe_ex (stage_hist stage)
+    Metrics.observe_ex
+      (stage_hist ?shard stage)
       ?exemplar:(match record with Some r -> Some r.trace_id | None -> None)
       ((t1_us -. t0_us) *. 1e-6)
 
-let timed ?record ~stage f =
+let timed ?record ?shard ~stage f =
   match record with
   | None when not (Metrics.enabled ()) -> f () (* two loads, no allocation *)
   | _ -> (
     let t0 = Clock.now_us () in
     match f () with
     | v ->
-      record_stage record ~stage t0 (Clock.now_us ());
+      record_stage ?shard record ~stage t0 (Clock.now_us ());
       v
     | exception e ->
-      record_stage record ~stage t0 (Clock.now_us ());
+      record_stage ?shard record ~stage t0 (Clock.now_us ());
       raise e)
 
 (* ------------------------------------------------------------------ *)

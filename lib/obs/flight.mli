@@ -38,9 +38,14 @@ type record = {
   stages : stage list Atomic.t;  (** newest first; capped at 32 *)
 }
 
-val create : ?trace_id:string -> meth:string -> path:string -> unit -> record
+val create :
+  ?trace_id:string -> ?started_wall_s:float -> meth:string -> path:string -> unit -> record
 (** New in-flight record; mints a fresh {!Trace} id when none is
-    propagated from the client. Not yet visible in the ring. *)
+    propagated from the client. Not yet visible in the ring.
+    [started_wall_s] overrides the display timestamp (defaults to
+    [Unix.gettimeofday ()]) — the server passes its own wall reading so
+    a simulated NTP step in tests flows through display fields only,
+    never through the monotonic stage timings. *)
 
 val mark_queued : record -> unit
 (** Stamp the enqueue instant — the worker turns it into the ["queue"]
@@ -48,13 +53,16 @@ val mark_queued : record -> unit
 
 val set_cache : record -> cache_status -> unit
 
-val record_stage : record option -> stage:string -> float -> float -> unit
+val record_stage : ?shard:int -> record option -> stage:string -> float -> float -> unit
 (** [record_stage r ~stage t0_us t1_us] appends an externally-timed
     stage (monotonic µs) and feeds the per-stage latency histogram
     [service.stage_seconds{stage=...}] (with the record's trace id as
-    exemplar) when sinks are on. *)
+    exemplar) when sinks are on. [shard] adds a [shard="k"] label to
+    the histogram family — stages executed on a sharded worker domain
+    expose per-shard latency; the flight record itself keeps the plain
+    stage name. *)
 
-val timed : ?record:record -> stage:string -> (unit -> 'a) -> 'a
+val timed : ?record:record -> ?shard:int -> stage:string -> (unit -> 'a) -> 'a
 (** Time [f] with the monotonic clock and {!record_stage} it.
     Exception-safe. With no record and sinks off this is [f ()] behind
     two atomic loads — no clock read, no allocation. *)

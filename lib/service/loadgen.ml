@@ -123,6 +123,203 @@ let fetch_trace config =
 let num f = if Float.is_finite f then Json.Num (Json.float_lit f) else Json.Null
 let int_ i = Json.Num (string_of_int i)
 
+(* ------------------------------------------------------------------ *)
+(* Worker-scaling sweep (BENCH_serve.json curve)                       *)
+(* ------------------------------------------------------------------ *)
+
+type sweep_config = {
+  worker_counts : int list;
+  sweep_concurrency : int;
+  sweep_requests : int;
+  keys : int;
+  task_n : int;
+}
+
+let default_sweep =
+  { worker_counts = [ 1; 2; 4 ]; sweep_concurrency = 8; sweep_requests = 96; keys = 8; task_n = 24 }
+
+(* [keys] distinct cases: same shape, different seeds, so every job has
+   its own (graph × platform × UL) key — they spread across shards and
+   each owns one engine. *)
+let sweep_job ~task_n i =
+  {
+    (default_job ()) with
+    Proto.workload =
+      Proto.Named
+        {
+          kind = Experiments.Case.Cholesky;
+          n = task_n;
+          procs = 4;
+          seed = Int64.of_int (100 + i);
+        };
+    schedules =
+      [ Proto.Heuristic "HEFT"; Proto.Random { count = 10; seed = Int64.of_int (7 + i) } ];
+  }
+
+let sweep_worker ~host ~port ~jobs ~expected ~share ~offset =
+  (* generous socket timeout: the conn-admit baseline point serializes
+     admission behind the evaluation pool, and a timeout would desync
+     the keep-alive stream (responses pairing with the wrong request) *)
+  let client = ref (Client.connect ~host ~port ~timeout_s:600. ()) in
+  let k = Array.length jobs in
+  let rec go i lat errors mismatches =
+    if i >= share then (lat, errors, mismatches)
+    else begin
+      let ji = (offset + i) mod k in
+      let t0 = Obs.Clock.now_s () in
+      match Client.eval !client jobs.(ji) with
+      | Ok body ->
+        let lat = (Obs.Clock.now_s () -. t0) :: lat in
+        if String.equal body (expected.(ji) : string) then go (i + 1) lat errors mismatches
+        else go (i + 1) lat errors (mismatches + 1)
+      | Error _ ->
+        (* resync: never reuse a connection after a failed round trip *)
+        Client.close !client;
+        client := Client.connect ~host ~port ~timeout_s:600. ();
+        go (i + 1) lat (errors + 1) mismatches
+    end
+  in
+  let r = go 0 [] 0 0 in
+  Client.close !client;
+  r
+
+(* Merge every shard's [service.stage_seconds{stage=...}] family into
+   one histogram (the bucket ladder is shared), so the sweep reports a
+   service-wide stage quantile whatever the worker count. *)
+let merged_stage_hist snap stage =
+  List.fold_left
+    (fun acc (name, h) ->
+      match Obs.Openmetrics.split_name name with
+      | "service.stage_seconds", ("stage", s) :: _ when String.equal s stage -> (
+        match acc with
+        | None -> Some h
+        | Some m when Array.length m.Obs.Metrics.counts = Array.length h.Obs.Metrics.counts
+          ->
+          Some
+            {
+              m with
+              Obs.Metrics.counts =
+                Array.mapi (fun i c -> c + h.Obs.Metrics.counts.(i)) m.Obs.Metrics.counts;
+              total = m.Obs.Metrics.total + h.Obs.Metrics.total;
+              sum = m.Obs.Metrics.sum +. h.Obs.Metrics.sum;
+            }
+        | some -> some)
+      | _ -> acc)
+    None snap.Obs.Metrics.histograms
+
+let sweep (sc : sweep_config) =
+  let keys = Int.max 1 sc.keys in
+  let jobs = Array.init keys (sweep_job ~task_n:sc.task_n) in
+  (* the offline twins every served body must match, byte for byte *)
+  let expected =
+    Array.map
+      (fun j ->
+        match Proto.eval j with Ok b -> b | Error e -> invalid_arg ("sweep job: " ^ e))
+      jobs
+  in
+  let point ~label ~workers ~conn_admit =
+    (* fresh instruments per point: the admit quantile must describe
+       this configuration only (no concurrent writers between points —
+       the previous server is stopped) *)
+    Obs.Flight.reset ();
+    Obs.Metrics.reset ();
+    let t =
+      Server.start
+        {
+          Server.default_config with
+          Server.port = 0;
+          workers;
+          conn_admit;
+          queue_capacity = Int.max 64 sc.sweep_requests;
+        }
+    in
+    let host = Server.default_config.Server.host in
+    let port = Server.port t in
+    let concurrency = Int.max 1 sc.sweep_concurrency in
+    let total = Int.max 1 sc.sweep_requests in
+    let share d = (total / concurrency) + if d < total mod concurrency then 1 else 0 in
+    let t0 = Obs.Clock.now_s () in
+    let results =
+      List.init concurrency (fun d ->
+          Domain.spawn (fun () ->
+              sweep_worker ~host ~port ~jobs ~expected ~share:(share d)
+                ~offset:(d * (total / concurrency))))
+      |> List.map Domain.join
+    in
+    let wall = Obs.Clock.now_s () -. t0 in
+    let snap = Obs.Metrics.snapshot () in
+    let stats = Server.stats t in
+    Server.stop t;
+    let latencies =
+      List.concat_map (fun (l, _, _) -> l) results |> Array.of_list
+    in
+    Array.sort compare latencies;
+    let errors = List.fold_left (fun a (_, e, _) -> a + e) 0 results in
+    let mismatches = List.fold_left (fun a (_, _, m) -> a + m) 0 results in
+    let admit = merged_stage_hist snap "admit" in
+    let admit_q q =
+      match admit with Some h -> Obs.Metrics.hist_quantile h q | None -> nan
+    in
+    let admit_p99 = admit_q 0.99 in
+    let doc =
+      Json.Obj
+        [
+          ("label", Json.Str label);
+          ("workers", int_ workers);
+          ("conn_admit", Json.Bool conn_admit);
+          ("completed", int_ (Array.length latencies));
+          ("errors", int_ errors);
+          ("byte_mismatches", int_ mismatches);
+          ("wall_s", num wall);
+          ( "throughput_rps",
+            num (float_of_int (Array.length latencies) /. wall) );
+          ("latency_p50_s", num (percentile latencies 0.50));
+          ("latency_p99_s", num (percentile latencies 0.99));
+          ( "admit_count",
+            int_ (match admit with Some h -> h.Obs.Metrics.total | None -> 0) );
+          ("admit_p50_s", num (admit_q 0.50));
+          ("admit_p99_s", num admit_p99);
+          ("engines_created", int_ stats.Server.engines_created);
+          ( "shard_jobs",
+            Json.Arr (Array.to_list (Array.map int_ stats.Server.shard_jobs)) );
+        ]
+    in
+    (admit_p99, doc)
+  in
+  (* Baseline: the pre-fix placement — context built on the connection
+     domains on every submit, one worker. Then the sharded tier. *)
+  let base_p99, base_doc = point ~label:"conn-admit-w1" ~workers:1 ~conn_admit:true in
+  let points =
+    List.map
+      (fun w ->
+        let p99, doc = point ~label:(Printf.sprintf "w%d" w) ~workers:w ~conn_admit:false in
+        (w, p99, doc))
+      sc.worker_counts
+  in
+  let speedups =
+    List.map
+      (fun (w, p99, _) ->
+        ( Printf.sprintf "w%d" w,
+          if Float.is_finite base_p99 && Float.is_finite p99 && p99 > 0. then
+            num (base_p99 /. p99)
+          else Json.Null ))
+      points
+  in
+  Json.to_string
+    (Json.Obj
+       [
+         ("bench", Json.Str "serve_workers_sweep");
+         ("version", Json.Str Build_info.version);
+         ("keys", int_ keys);
+         ("task_n", int_ sc.task_n);
+         ("requests_per_point", int_ sc.sweep_requests);
+         ("concurrency", int_ sc.sweep_concurrency);
+         ("baseline", base_doc);
+         ("points", Json.Arr (List.map (fun (_, _, d) -> d) points));
+         ("admit_p99_speedup_vs_conn_admit", Json.Obj speedups);
+       ])
+  ^ "\n"
+
 let run config =
   let concurrency = Int.max 1 config.concurrency in
   let total = Int.max 1 config.requests in

@@ -47,3 +47,31 @@ val default_job : unit -> Proto.job
 val run : config -> string
 (** Execute the load and return the report document (newline-
     terminated JSON, ready to write to [BENCH_serve.json]). *)
+
+(** {2 Worker-scaling sweep}
+
+    [repro loadgen --workers-sweep] drives the whole 1→N scaling curve
+    in-process: for each point it starts a fresh {!Server} (ephemeral
+    port), fires a closed-loop load of [keys] distinct cases from
+    [sweep_concurrency] client domains, and reads the admit-stage
+    latency back out of the {!Obs.Metrics} snapshot (per-shard
+    [service_stage_seconds{stage="admit"}] families merged). The first
+    point re-enables the pre-fix placement ([conn_admit]) as the
+    baseline the speedup is measured against. Every response body is
+    compared byte-for-byte against [Proto.eval]'s offline document
+    ([byte_mismatches] must be 0 at every worker count). *)
+
+type sweep_config = {
+  worker_counts : int list;  (** sharded points, e.g. [[1; 2; 4]] *)
+  sweep_concurrency : int;  (** client domains per point *)
+  sweep_requests : int;  (** sync requests per point *)
+  keys : int;  (** distinct cases (distinct batch keys) in the mix *)
+  task_n : int;  (** target task count per case — sizes the admit cost *)
+}
+
+val default_sweep : sweep_config
+(** workers 1/2/4, 8 clients, 96 requests per point, 8 keys, n = 24. *)
+
+val sweep : sweep_config -> string
+(** Run the curve and return the report (newline-terminated JSON with
+    [baseline], [points] and [admit_p99_speedup_vs_conn_admit]). *)

@@ -573,13 +573,13 @@ let makespan_to_json d =
       ("q95", num_of_float (Dist.quantile d 0.95));
     ]
 
-let run_job ?flight ~engine job =
+let run_job ?flight ?shard ?pool ~engine job =
   let graph = Engine.graph engine and platform = Engine.platform engine in
   let backend = job.backend and slack_mode = job.slack_mode in
   (* the "eval" span covers schedule expansion, pilot calibration and
      the parallel metric sweep — everything but JSON rendering *)
   let doc =
-    Obs.Flight.timed ?record:flight ~stage:"eval" (fun () ->
+    Obs.Flight.timed ?record:flight ?shard ~stage:"eval" (fun () ->
         let labeled = Array.of_list (expand_schedules job graph platform) in
         let n = Array.length labeled in
         (* Neighbor rows first, through one incremental session per
@@ -634,7 +634,7 @@ let run_job ?flight ~engine job =
             (Option.value d_opt ~default:d_cal, Option.value g_opt ~default:g_cal)
         in
         let rows =
-          Parallel.Par_array.init ~chunk_size:16 n (fun i ->
+          Parallel.Par_array.init ?pool ~chunk_size:16 n (fun i ->
               let e = if i < pilot_n then pilot_evals.(i) else eval_row i in
               let m =
                 Robustness.compute ~delta ~gamma ~makespan_dist:e.Engine.makespan
@@ -665,7 +665,7 @@ let run_job ?flight ~engine job =
             ("rows", Json.Arr (Array.to_list rows));
           ])
   in
-  Obs.Flight.timed ?record:flight ~stage:"encode" (fun () -> Json.to_string doc ^ "\n")
+  Obs.Flight.timed ?record:flight ?shard ~stage:"encode" (fun () -> Json.to_string doc ^ "\n")
 
 let eval job =
   match context_of_job job with

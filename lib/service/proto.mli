@@ -78,23 +78,43 @@ type context = {
   model : Workloads.Stochastify.t;
 }
 
+val key_of_job : job -> string
+(** The batching key alone, {e without} materializing the workload:
+    named workloads key on the case id (a string render of the
+    parameters), inline ones on a digest of their canonical JSON. This
+    is what lets a connection domain route a job to its owning shard
+    cheaply — the expensive graph/platform generation is deferred to
+    {!context_of_job} on the worker. Agrees with [context.key]. *)
+
 val context_of_job : job -> (context, string) result
 (** Materialize the case. Jobs with equal [key] are guaranteed to
     describe the identical (graph, platform, uncertainty model) triple,
     so one {!Makespan.Engine} may serve them all — named workloads key
-    on the case id, inline ones on a digest of their canonical JSON. *)
+    on the case id, inline ones on a digest of their canonical JSON.
+    This is the expensive half of admission (workload/platform
+    generation); the sharded server runs it on the job's owning worker
+    domain (the ["admit"] stage), never on a connection domain. *)
 
-val run_job : ?flight:Obs.Flight.record -> engine:Makespan.Engine.t -> job -> string
+val run_job :
+  ?flight:Obs.Flight.record ->
+  ?shard:int ->
+  ?pool:Parallel.Pool.t ->
+  engine:Makespan.Engine.t ->
+  job ->
+  string
 (** Evaluate every schedule of the job on an engine built over the
     job's context and render the response body (one JSON document,
     newline-terminated). The engine must come from this job's [key];
     sharing it across same-key jobs only warms its caches. Random
     schedules are generated from the spec seed, δ/γ are calibrated on
     the job's own first schedules (capped at 20) exactly as
-    {!Experiments.Runner} does, and evaluation fans out over
-    {!Parallel.Pool.shared}. When [flight] is given, the work is split
-    into the ["eval"] (expansion + metric sweep) and ["encode"] (JSON
-    rendering) stages of that request's flight record. *)
+    {!Experiments.Runner} does, and evaluation fans out over [pool]
+    ({!Parallel.Pool.shared} when absent — sharded workers pass their
+    private pool slice so shards never contend on one submit lock).
+    When [flight] is given, the work is split into the ["eval"]
+    (expansion + metric sweep) and ["encode"] (JSON rendering) stages
+    of that request's flight record, labeled with [shard] when the
+    caller is a sharded worker. *)
 
 val eval : job -> (string, string) result
 (** One-shot local evaluation: context + fresh engine + {!run_job}.

@@ -7,6 +7,8 @@ type config = {
   port : int;
   queue_capacity : int;
   conn_domains : int;
+  workers : int;
+  conn_admit : bool;
   limits : Http.limits;
   engine_cache : int;
   auto_worker : bool;
@@ -20,6 +22,8 @@ let default_config =
     port = 0;
     queue_capacity = 64;
     conn_domains = 4;
+    workers = 1;
+    conn_admit = false;
     limits = Http.default_limits;
     engine_cache = 8;
     auto_worker = true;
@@ -32,6 +36,7 @@ type jstate =
   | Running
   | Done of string
   | Failed of string
+  | Invalid of string  (* context build failed on the worker; 422 *)
   | Expired
   | Cancelled
 
@@ -39,9 +44,14 @@ type jrec = {
   id : string;
   spec : Proto.job;
   key : string;
-  context : Proto.context;
+  context : Proto.context option;
+      (* [Some] only under [conn_admit] (the pre-fix A/B baseline);
+         normally the owning worker materializes it in its "admit" stage *)
+  shard : int;
   state : jstate Atomic.t;
-  deadline : float option;  (* absolute Unix time; queue-admission only *)
+  deadline : float option;
+      (* absolute MONOTONIC seconds (Obs.Clock); queue-admission only.
+         Wall clock would let an NTP step mass-expire the queue. *)
   flight : Obs.Flight.record;  (* the request that submitted the job *)
 }
 
@@ -55,6 +65,7 @@ type counters = {
   c_cancelled : int Atomic.t;
   c_rejected_full : int Atomic.t;
   c_rejected_invalid : int Atomic.t;
+  c_rejected_draining : int Atomic.t;
   c_batches : int Atomic.t;
   c_max_batch : int Atomic.t;
   c_engines_created : int Atomic.t;
@@ -69,6 +80,7 @@ type stats = {
   jobs_cancelled : int;
   rejected_full : int;
   rejected_invalid : int;
+  rejected_draining : int;
   batches : int;
   max_batch : int;
   engines_created : int;
@@ -80,6 +92,27 @@ type stats = {
   engine_reeval_cone_nodes : int;
   engine_reeval_max_cone : int;
   queue_depth : int;
+  workers : int;
+  shard_jobs : int array;
+  shard_depth : int array;
+}
+
+(* One evaluation shard: a private job queue, a private engine LRU and
+   (multi-worker auto mode) a private slice of the evaluation pool.
+   Nothing here is shared between worker domains, so N workers never
+   contend on a queue mutex, an engine mutex or the shared pool's
+   submit lock. *)
+type shard = {
+  index : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  jobs : jrec Queue.t;
+  emu : Mutex.t;  (* engine LRU, MRU first *)
+  mutable engines : (string * Engine.t) list;
+  mutable pool : Parallel.Pool.t option;  (* None → Pool.shared *)
+  sc_jobs : int Atomic.t;  (* jobs evaluated on this shard *)
+  sc_engines : int Atomic.t;  (* engines built on this shard *)
+  g_depth : Obs.Metrics.gauge;  (* service.queue_depth{shard="k"} *)
 }
 
 type t = {
@@ -91,23 +124,19 @@ type t = {
   cmu : Mutex.t;
   ccond : Condition.t;
   conns : Unix.file_descr Queue.t;
-  (* bounded job queue + id table *)
-  jmu : Mutex.t;
-  jcond : Condition.t;
-  jobs : jrec Queue.t;
+  shards : shard array;
+  (* id table + finished ring, shared across shards. Lock order: a
+     shard's [mu] may be held when taking [tmu], never the reverse. *)
+  tmu : Mutex.t;
   table : (string, jrec) Hashtbl.t;
   finished : string Queue.t;  (* terminal-state ids, oldest first *)
   next_id : int Atomic.t;
-  (* engine LRU, MRU first *)
-  emu : Mutex.t;
-  mutable engines : (string * Engine.t) list;
   c : counters;
   mutable domains : unit Domain.t list;
   stopped : bool Atomic.t;
   (* Obs instruments (live only when Obs.Metrics is enabled) *)
   h_latency : Obs.Metrics.histogram;
   h_batch : Obs.Metrics.histogram;
-  g_queue : Obs.Metrics.gauge;
 }
 
 let max_finished_kept = 1024
@@ -123,6 +152,7 @@ let counters () =
     c_cancelled = Atomic.make 0;
     c_rejected_full = Atomic.make 0;
     c_rejected_invalid = Atomic.make 0;
+    c_rejected_draining = Atomic.make 0;
     c_batches = Atomic.make 0;
     c_max_batch = Atomic.make 0;
     c_engines_created = Atomic.make 0;
@@ -137,6 +167,25 @@ let atomic_max a v =
 
 let port t = t.bound_port
 
+(* Consistent job routing: same batch key → same shard, always, so
+   same-key batching and per-base reeval sessions keep their affinity
+   without any cross-shard engine sharing. *)
+let shard_of_key t key = Hashtbl.hash key mod Array.length t.shards
+
+(* ------------------------------------------------------------------ *)
+(* Clocks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Queue deadlines are measured on the monotonic clock ({!Obs.Clock}):
+   an NTP step must neither mass-expire nor immortalize queued jobs.
+   The only wall-clock reading the server still owns is the display
+   timestamp on flight records; [set_wall_offset_for_tests] skews it to
+   simulate such a step, and the deadline tests assert expiry behavior
+   depends on monotonic elapsed time alone. *)
+let wall_offset_for_tests = Atomic.make 0.
+let set_wall_offset_for_tests s = Atomic.set wall_offset_for_tests s
+let wall_now () = Unix.gettimeofday () +. Atomic.get wall_offset_for_tests
+
 (* ------------------------------------------------------------------ *)
 (* Job lifecycle                                                       *)
 (* ------------------------------------------------------------------ *)
@@ -144,17 +193,17 @@ let port t = t.bound_port
 (* Record a job's terminal transition; evict the oldest finished jobs
    so the table stays bounded. Callers already performed the CAS. *)
 let finished t j =
-  Mutex.lock t.jmu;
+  Mutex.lock t.tmu;
   Queue.push j.id t.finished;
   while Queue.length t.finished > max_finished_kept do
     Hashtbl.remove t.table (Queue.pop t.finished)
   done;
-  Mutex.unlock t.jmu
+  Mutex.unlock t.tmu
 
 let expire_if_due t j =
   match j.deadline with
   | Some d
-    when Unix.gettimeofday () > d && Atomic.compare_and_set j.state Queued Expired ->
+    when Obs.Clock.now_s () > d && Atomic.compare_and_set j.state Queued Expired ->
     Atomic.incr t.c.c_expired;
     finished t j;
     true
@@ -167,165 +216,212 @@ type submit_error =
 
 (* [header_traced] says whether the request already carried a
    [traceparent] header — a valid [trace] field in the job body only
-   takes over when it did not (the header is the more specific signal). *)
+   takes over when it did not (the header is the more specific signal).
+
+   The connection domain does only the cheap half of admission: decode,
+   batch-key extraction ({!Proto.key_of_job}, no workload generation)
+   and the deadline stamp. The expensive half — [Proto.context_of_job],
+   the ~50 ms workload/platform build that used to fight the evaluation
+   pool for the minor heap — runs on the job's owning worker as its
+   "admit" stage. [conn_admit] restores the pre-fix placement so the
+   bench can measure the A/B. *)
 let submit t fl ~header_traced body : (jrec, submit_error) result =
   let decoded =
-    Obs.Flight.timed ~record:fl ~stage:"admit" (fun () ->
-        match Proto.job_of_json body with
-        | Error e -> Error (`Invalid (400, e))
-        | Ok spec -> (
-          match Proto.context_of_job spec with
-          | Error e -> Error (`Invalid (422, e))
-          | Ok context -> Ok (spec, context)))
+    Obs.Flight.timed ~record:fl ~stage:"decode" (fun () -> Proto.job_of_json body)
   in
   match decoded with
-  | Error (`Invalid _ as e) ->
+  | Error e ->
     Atomic.incr t.c.c_rejected_invalid;
-    Error e
-  | Ok (spec, context) ->
-    (match spec.Proto.trace with
-    | Some tid when not header_traced -> fl.Obs.Flight.trace_id <- tid
-    | _ -> ());
-    let deadline =
-      Option.map
-        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
-        spec.Proto.deadline_ms
+    Error (`Invalid (400, e))
+  | Ok spec -> (
+    let context =
+      if not t.config.conn_admit then Ok None
+      else
+        Obs.Flight.timed ~record:fl ~stage:"admit" (fun () ->
+            Result.map Option.some (Proto.context_of_job spec))
     in
-    let id = Printf.sprintf "job-%06d" (Atomic.fetch_and_add t.next_id 1) in
-    let j =
-      {
-        id;
-        spec;
-        key = context.Proto.key;
-        context;
-        state = Atomic.make Queued;
-        deadline;
-        flight = fl;
-      }
-    in
-    (* stamp before the push: once the job is visible the worker may pop
-       it immediately, and the queue stage needs the stamp in place *)
-    Obs.Flight.mark_queued fl;
-    Mutex.lock t.jmu;
-    let verdict =
-      if Atomic.get t.draining then Error `Draining
-      else if Queue.length t.jobs >= t.config.queue_capacity then Error `Full
-      else begin
-        Queue.push j t.jobs;
+    match context with
+    | Error e ->
+      Atomic.incr t.c.c_rejected_invalid;
+      Error (`Invalid (422, e))
+    | Ok context ->
+      (match spec.Proto.trace with
+      | Some tid when not header_traced -> fl.Obs.Flight.trace_id <- tid
+      | _ -> ());
+      let key =
+        match context with
+        | Some c -> c.Proto.key
+        | None -> Proto.key_of_job spec
+      in
+      let deadline =
+        Option.map
+          (fun ms -> Obs.Clock.now_s () +. (float_of_int ms /. 1000.))
+          spec.Proto.deadline_ms
+      in
+      let id = Printf.sprintf "job-%06d" (Atomic.fetch_and_add t.next_id 1) in
+      let shard = shard_of_key t key in
+      let sh = t.shards.(shard) in
+      let j =
+        { id; spec; key; context; shard; state = Atomic.make Queued; deadline; flight = fl }
+      in
+      Mutex.lock sh.mu;
+      let verdict =
+        if Atomic.get t.draining then Error `Draining
+        else if Queue.length sh.jobs >= t.config.queue_capacity then Error `Full
+        else begin
+          Queue.push j sh.jobs;
+          (* stamp only admitted jobs (a rejected request must not carry
+             a dangling open "queue" stage), and under the shard lock so
+             the stamp is in place before the worker can pop the job *)
+          Obs.Flight.mark_queued fl;
+          Ok j
+        end
+      in
+      let depth = Queue.length sh.jobs in
+      (match verdict with Ok _ -> Condition.signal sh.cond | Error _ -> ());
+      Mutex.unlock sh.mu;
+      (match verdict with
+      | Ok _ ->
+        Mutex.lock t.tmu;
         Hashtbl.replace t.table id j;
-        Ok j
-      end
-    in
-    let depth = Queue.length t.jobs in
-    (match verdict with Ok _ -> Condition.signal t.jcond | Error _ -> ());
-    Mutex.unlock t.jmu;
-    (match verdict with
-    | Ok _ ->
-      Atomic.incr t.c.c_submitted;
-      Obs.Metrics.set t.g_queue (float_of_int depth)
-    | Error `Full -> Atomic.incr t.c.c_rejected_full
-    | Error _ -> ());
-    verdict
+        Mutex.unlock t.tmu;
+        Atomic.incr t.c.c_submitted;
+        Obs.Metrics.set sh.g_depth (float_of_int depth)
+      | Error `Full -> Atomic.incr t.c.c_rejected_full
+      | Error `Draining -> Atomic.incr t.c.c_rejected_draining
+      | Error _ -> ());
+      verdict)
 
 (* Pop the oldest job plus every queued job sharing its key, preserving
-   the order of what stays behind. Caller holds [jmu]. *)
-let pop_batch_locked t =
-  if Queue.is_empty t.jobs then []
+   the order of what stays behind. Caller holds the shard's [mu]. *)
+let pop_batch_locked sh =
+  if Queue.is_empty sh.jobs then []
   else begin
-    let first = Queue.pop t.jobs in
-    let rest = List.of_seq (Queue.to_seq t.jobs) in
-    Queue.clear t.jobs;
+    let first = Queue.pop sh.jobs in
+    let rest = List.of_seq (Queue.to_seq sh.jobs) in
+    Queue.clear sh.jobs;
     let same, other = List.partition (fun j -> String.equal j.key first.key) rest in
-    List.iter (fun j -> Queue.push j t.jobs) other;
+    List.iter (fun j -> Queue.push j sh.jobs) other;
     first :: same
   end
 
-let engine_for t key context =
-  Mutex.lock t.emu;
-  let e, hit =
-    match List.assoc_opt key t.engines with
-    | Some e ->
-      t.engines <- (key, e) :: List.remove_assoc key t.engines;
-      (e, true)
-    | None ->
+(* Engine acquisition IS admission now: on an LRU hit it is a few list
+   operations; on a miss the worker materializes the context (the
+   expensive generation step deferred off the connection domain) and
+   builds the engine. Only this shard's worker touches this LRU, the
+   mutex is for [stats] readers. *)
+let engine_for t sh j =
+  Mutex.lock sh.emu;
+  match List.assoc_opt j.key sh.engines with
+  | Some e ->
+    sh.engines <- (j.key, e) :: List.remove_assoc j.key sh.engines;
+    Mutex.unlock sh.emu;
+    Ok (e, true)
+  | None -> (
+    Mutex.unlock sh.emu;
+    let context =
+      match j.context with
+      | Some c -> Ok c  (* conn_admit: built on the connection domain *)
+      | None -> Proto.context_of_job j.spec
+    in
+    match context with
+    | Error e -> Error e
+    | Ok context ->
       let e =
         Engine.create ~graph:context.Proto.graph ~platform:context.Proto.platform
           ~model:context.Proto.model
       in
       Atomic.incr t.c.c_engines_created;
-      let keep = List.filteri (fun i _ -> i < t.config.engine_cache - 1) t.engines in
-      t.engines <- (key, e) :: keep;
-      (e, false)
-  in
-  Mutex.unlock t.emu;
-  (e, hit)
+      Atomic.incr sh.sc_engines;
+      Mutex.lock sh.emu;
+      let keep = List.filteri (fun i _ -> i < t.config.engine_cache - 1) sh.engines in
+      sh.engines <- (j.key, e) :: keep;
+      Mutex.unlock sh.emu;
+      Ok (e, false))
 
-let run_batch t batch =
+let run_batch t sh batch =
   match batch with
   | [] -> 0
-  | first :: _ ->
+  | _ ->
+    let shard = sh.index in
     Atomic.incr t.c.c_batches;
     atomic_max t.c.c_max_batch (List.length batch);
     Obs.Metrics.observe t.h_batch (float_of_int (List.length batch));
     let pop_us = Obs.Clock.now_us () in
-    let engine, cache_hit = engine_for t first.key first.context in
     List.iter
       (fun j ->
         if not (expire_if_due t j) then
           if Atomic.compare_and_set j.state Queued Running then begin
             let fl = j.flight in
-            Obs.Flight.set_cache fl
-              (if cache_hit then Obs.Flight.Hit else Obs.Flight.Miss);
             (* "queue" = enqueue → batch pop; "batch" = pop → this job's
                turn (time spent behind same-key peers in the batch) *)
             if fl.Obs.Flight.queued_us > 0. then
-              Obs.Flight.record_stage (Some fl) ~stage:"queue"
+              Obs.Flight.record_stage ~shard (Some fl) ~stage:"queue"
                 fl.Obs.Flight.queued_us pop_us;
-            let t0 = Obs.Clock.now_us () in
-            Obs.Flight.record_stage (Some fl) ~stage:"batch" pop_us t0;
-            (match Proto.run_job ~flight:fl ~engine j.spec with
-            | body ->
-              Atomic.set j.state (Done body);
-              Atomic.incr t.c.c_done
-            | exception exn ->
-              Atomic.set j.state (Failed (Printexc.to_string exn));
-              Atomic.incr t.c.c_failed);
-            Obs.Metrics.observe_ex t.h_latency ~exemplar:fl.Obs.Flight.trace_id
-              ((Obs.Clock.now_us () -. t0) *. 1e-6);
-            finished t j
+            let t_turn = Obs.Clock.now_us () in
+            Obs.Flight.record_stage ~shard (Some fl) ~stage:"batch" pop_us t_turn;
+            (* admission, relocated: context + engine acquisition on the
+               owning worker. Warm shards skip generation entirely. *)
+            match
+              Obs.Flight.timed ~record:fl ~shard ~stage:"admit" (fun () ->
+                  engine_for t sh j)
+            with
+            | Error msg ->
+              Atomic.set j.state (Invalid msg);
+              Atomic.incr t.c.c_rejected_invalid;
+              finished t j
+            | Ok (engine, cache_hit) ->
+              Obs.Flight.set_cache fl
+                (if cache_hit then Obs.Flight.Hit else Obs.Flight.Miss);
+              let t0 = Obs.Clock.now_us () in
+              (match Proto.run_job ~flight:fl ~shard ?pool:sh.pool ~engine j.spec with
+              | body ->
+                Atomic.set j.state (Done body);
+                Atomic.incr t.c.c_done;
+                Atomic.incr sh.sc_jobs
+              | exception exn ->
+                Atomic.set j.state (Failed (Printexc.to_string exn));
+                Atomic.incr t.c.c_failed);
+              Obs.Metrics.observe_ex t.h_latency ~exemplar:fl.Obs.Flight.trace_id
+                ((Obs.Clock.now_us () -. t0) *. 1e-6);
+              finished t j
           end)
       batch;
     List.length batch
 
 let step t =
-  Mutex.lock t.jmu;
-  let batch = pop_batch_locked t in
-  let depth = Queue.length t.jobs in
-  Mutex.unlock t.jmu;
-  Obs.Metrics.set t.g_queue (float_of_int depth);
-  run_batch t batch
+  Array.fold_left
+    (fun acc sh ->
+      Mutex.lock sh.mu;
+      let batch = pop_batch_locked sh in
+      let depth = Queue.length sh.jobs in
+      Mutex.unlock sh.mu;
+      Obs.Metrics.set sh.g_depth (float_of_int depth);
+      acc + run_batch t sh batch)
+    0 t.shards
 
-(* Worker: drain batches until draining AND empty (graceful drain runs
-   the queue down before the grace timer cancels leftovers). *)
-let worker_loop t =
+(* Worker: drain this shard's batches until draining AND empty
+   (graceful drain runs the queue down before the grace timer cancels
+   leftovers). *)
+let worker_loop t sh =
   let rec next () =
-    Mutex.lock t.jmu;
+    Mutex.lock sh.mu;
     let rec wait () =
-      if not (Queue.is_empty t.jobs) then pop_batch_locked t
+      if not (Queue.is_empty sh.jobs) then pop_batch_locked sh
       else if Atomic.get t.draining then []
       else begin
-        Condition.wait t.jcond t.jmu;
+        Condition.wait sh.cond sh.mu;
         wait ()
       end
     in
     let batch = wait () in
-    let depth = Queue.length t.jobs in
-    Mutex.unlock t.jmu;
+    let depth = Queue.length sh.jobs in
+    Mutex.unlock sh.mu;
     match batch with
     | [] -> ()
     | batch ->
-      Obs.Metrics.set t.g_queue (float_of_int depth);
-      ignore (run_batch t batch);
+      Obs.Metrics.set sh.g_depth (float_of_int depth);
+      ignore (run_batch t sh batch);
       next ()
   in
   next ()
@@ -336,26 +432,35 @@ let worker_loop t =
 
 let stats t =
   let task_hits, task_misses, reevals, reeval_inc, reeval_full, cone_nodes, max_cone =
-    Mutex.lock t.emu;
-    let totals =
-      List.fold_left
-        (fun (h, m, r, ri, rf, cn, mc) (_, e) ->
-          let s = Engine.stats e in
-          ( h + s.Engine.task_hits,
-            m + s.Engine.task_misses,
-            r + s.Engine.reevals,
-            ri + s.Engine.reeval_incremental,
-            rf + s.Engine.reeval_full,
-            cn + s.Engine.reeval_cone_nodes,
-            Int.max mc s.Engine.reeval_max_cone ))
-        (0, 0, 0, 0, 0, 0, 0) t.engines
-    in
-    Mutex.unlock t.emu;
-    totals
+    Array.fold_left
+      (fun acc sh ->
+        Mutex.lock sh.emu;
+        let totals =
+          List.fold_left
+            (fun (h, m, r, ri, rf, cn, mc) (_, e) ->
+              let s = Engine.stats e in
+              ( h + s.Engine.task_hits,
+                m + s.Engine.task_misses,
+                r + s.Engine.reevals,
+                ri + s.Engine.reeval_incremental,
+                rf + s.Engine.reeval_full,
+                cn + s.Engine.reeval_cone_nodes,
+                Int.max mc s.Engine.reeval_max_cone ))
+            acc sh.engines
+        in
+        Mutex.unlock sh.emu;
+        totals)
+      (0, 0, 0, 0, 0, 0, 0) t.shards
   in
-  Mutex.lock t.jmu;
-  let depth = Queue.length t.jobs in
-  Mutex.unlock t.jmu;
+  let shard_depth =
+    Array.map
+      (fun sh ->
+        Mutex.lock sh.mu;
+        let d = Queue.length sh.jobs in
+        Mutex.unlock sh.mu;
+        d)
+      t.shards
+  in
   {
     requests = Atomic.get t.c.c_requests;
     jobs_submitted = Atomic.get t.c.c_submitted;
@@ -365,6 +470,7 @@ let stats t =
     jobs_cancelled = Atomic.get t.c.c_cancelled;
     rejected_full = Atomic.get t.c.c_rejected_full;
     rejected_invalid = Atomic.get t.c.c_rejected_invalid;
+    rejected_draining = Atomic.get t.c.c_rejected_draining;
     batches = Atomic.get t.c.c_batches;
     max_batch = Atomic.get t.c.c_max_batch;
     engines_created = Atomic.get t.c.c_engines_created;
@@ -375,7 +481,10 @@ let stats t =
     engine_reeval_full = reeval_full;
     engine_reeval_cone_nodes = cone_nodes;
     engine_reeval_max_cone = max_cone;
-    queue_depth = depth;
+    queue_depth = Array.fold_left ( + ) 0 shard_depth;
+    workers = Array.length t.shards;
+    shard_jobs = Array.map (fun sh -> Atomic.get sh.sc_jobs) t.shards;
+    shard_depth;
   }
 
 let num_of_int i = Json.Num (string_of_int i)
@@ -387,6 +496,7 @@ let healthz_body t =
        [
          ("status", Json.Str (if Atomic.get t.draining then "draining" else "ok"));
          ("version", Json.Str Build_info.version);
+         ("workers", num_of_int s.workers);
          ("queue_depth", num_of_int s.queue_depth);
          ("queue_capacity", num_of_int t.config.queue_capacity);
          ("jobs_done", num_of_int s.jobs_done);
@@ -403,6 +513,7 @@ let metrics_body t =
       Json.Num (Json.float_lit (Obs.Metrics.window_quantile h p))
     | _ -> Json.Null
   in
+  let int_arr a = Json.Arr (Array.to_list (Array.map num_of_int a)) in
   let service =
     Json.Obj
       [
@@ -414,9 +525,13 @@ let metrics_body t =
         ("jobs_cancelled", num_of_int s.jobs_cancelled);
         ("rejected_full", num_of_int s.rejected_full);
         ("rejected_invalid", num_of_int s.rejected_invalid);
+        ("rejected_draining", num_of_int s.rejected_draining);
         ("batches", num_of_int s.batches);
         ("max_batch", num_of_int s.max_batch);
         ("queue_depth", num_of_int s.queue_depth);
+        ("workers", num_of_int s.workers);
+        ("shard_jobs", int_arr s.shard_jobs);
+        ("shard_depth", int_arr s.shard_depth);
         ("engines_created", num_of_int s.engines_created);
         ("engine_task_hits", num_of_int s.engine_task_hits);
         ("engine_task_misses", num_of_int s.engine_task_misses);
@@ -442,22 +557,28 @@ let openmetrics_content_type = "application/openmetrics-text; version=1.0.0; cha
 
 let openmetrics_body t =
   let s = stats t in
-  let counter family help v =
+  let counter ?(labels = []) family help v =
     {
       Obs.Openmetrics.family;
-      labels = [];
+      labels;
       help = Some help;
       data = Obs.Openmetrics.Counter (float_of_int v);
     }
   in
-  let gauge family help v =
+  let gauge ?(labels = []) family help v =
     {
       Obs.Openmetrics.family;
-      labels = [];
+      labels;
       help = Some help;
       data = Obs.Openmetrics.Gauge (float_of_int v);
     }
   in
+  let per_shard mk family help values =
+    Array.to_list
+      (Array.mapi (fun k v -> mk [ ("shard", string_of_int k) ] family help v) values)
+  in
+  let counter_l labels family help v = counter ~labels family help v in
+  let gauge_l labels family help v = gauge ~labels family help v in
   let service =
     [
       counter "service_requests" "HTTP requests parsed (any route)" s.requests;
@@ -471,7 +592,9 @@ let openmetrics_body t =
         s.rejected_full;
       counter "service_rejected_invalid" "Submissions refused as invalid (400/422)"
         s.rejected_invalid;
-      counter "service_batches" "Same-key batches popped by the worker" s.batches;
+      counter "service_rejected_draining" "Submissions refused because of drain"
+        s.rejected_draining;
+      counter "service_batches" "Same-key batches popped by the workers" s.batches;
       counter "service_engines_created" "Engines built (LRU misses)" s.engines_created;
       counter "service_engine_task_hits" "Task-level cache hits over live engines"
         s.engine_task_hits;
@@ -486,11 +609,17 @@ let openmetrics_body t =
       counter "service_engine_reeval_cone_nodes"
         "Dirty nodes recomputed across incremental re-evaluations"
         s.engine_reeval_cone_nodes;
-      gauge "service_queue_capacity" "Job-queue bound" t.config.queue_capacity;
+      gauge "service_queue_capacity" "Per-shard job-queue bound" t.config.queue_capacity;
+      gauge "service_workers" "Evaluation worker shards" s.workers;
       gauge "service_max_batch" "Largest batch so far" s.max_batch;
       gauge "service_engine_reeval_max_cone" "Largest incremental dirty cone seen"
         s.engine_reeval_max_cone;
     ]
+    @ per_shard counter_l "service_shard_jobs" "Jobs evaluated per shard" s.shard_jobs
+    @ per_shard counter_l "service_shard_engines"
+        "Engines built per shard (context materializations)"
+        (Array.map (fun sh -> Atomic.get sh.sc_engines) t.shards)
+    @ per_shard gauge_l "service_shard_depth" "Queued jobs per shard" s.shard_depth
   in
   Obs.Openmetrics.render
     (service @ Obs.Openmetrics.of_snapshot (Obs.Metrics.snapshot ()))
@@ -506,6 +635,7 @@ let job_status_name = function
   | Running -> "running"
   | Done _ -> "done"
   | Failed _ -> "failed"
+  | Invalid _ -> "invalid"
   | Expired -> "expired"
   | Cancelled -> "cancelled"
 
@@ -514,7 +644,7 @@ let job_envelope j =
   let base = [ ("id", Json.Str j.id); ("status", Json.Str (job_status_name state)) ] in
   let extra =
     match state with
-    | Failed e -> [ ("error", Json.Str e) ]
+    | Failed e | Invalid e -> [ ("error", Json.Str e) ]
     | _ -> []
   in
   Json.to_string (Json.Obj (base @ extra)) ^ "\n"
@@ -527,6 +657,7 @@ let wait_terminal t j =
     match Atomic.get j.state with
     | Done body -> `Done body
     | Failed e -> `Failed e
+    | Invalid e -> `Invalid e
     | Expired -> `Expired
     | Cancelled -> `Cancelled
     | Queued | Running ->
@@ -539,9 +670,9 @@ let wait_terminal t j =
   go ()
 
 let lookup_job t id =
-  Mutex.lock t.jmu;
+  Mutex.lock t.tmu;
   let j = Hashtbl.find_opt t.table id in
-  Mutex.unlock t.jmu;
+  Mutex.unlock t.tmu;
   j
 
 type reply = { status : int; headers : (string * string) list; body : string }
@@ -595,6 +726,7 @@ let handle t fl ~header_traced (req : Http.request) =
       match wait_terminal t j with
       | `Done body -> reply 200 body
       | `Failed e -> reply 500 (error_body e)
+      | `Invalid e -> reply 422 (error_body e)
       | `Expired -> reply 504 (error_body "deadline expired while queued")
       | `Cancelled -> reply 503 (error_body "cancelled by drain")))
   | "POST", "/jobs" -> (
@@ -618,6 +750,7 @@ let handle t fl ~header_traced (req : Http.request) =
       match Atomic.get j.state with
       | Done body -> reply 200 body
       | Failed e -> reply 500 (error_body e)
+      | Invalid e -> reply 422 (error_body e)
       | Expired -> reply 504 (error_body "deadline expired while queued")
       | Cancelled -> reply 503 (error_body "cancelled by drain")
       | Queued | Running -> reply 202 (job_envelope j)))
@@ -652,8 +785,8 @@ let serve_conn t fd =
               (Obs.Trace.of_traceparent tp))
       in
       let fl =
-        Obs.Flight.create ?trace_id:header_trace ~meth:req.Http.meth
-          ~path:req.Http.path ()
+        Obs.Flight.create ?trace_id:header_trace ~started_wall_s:(wall_now ())
+          ~meth:req.Http.meth ~path:req.Http.path ()
       in
       fl.Obs.Flight.bytes_in <- String.length req.Http.body;
       Obs.Flight.record_stage (Some fl) ~stage:"parse" t_parse0 t_parse1;
@@ -738,10 +871,11 @@ let acceptor t =
 (* Lifecycle                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let start config =
+let start (config : config) =
   (* A peer closing mid-response must surface as EPIPE, not kill us. *)
   (try ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore) with Invalid_argument _ -> ());
   Obs.Metrics.set_enabled true;
+  let workers = Int.max 1 config.workers in
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   (try
      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
@@ -755,23 +889,37 @@ let start config =
     | Unix.ADDR_INET (_, p) -> p
     | _ -> config.port
   in
+  let shards =
+    Array.init workers (fun index ->
+        {
+          index;
+          mu = Mutex.create ();
+          cond = Condition.create ();
+          jobs = Queue.create ();
+          emu = Mutex.create ();
+          engines = [];
+          pool = None;
+          sc_jobs = Atomic.make 0;
+          sc_engines = Atomic.make 0;
+          g_depth =
+            Obs.Metrics.gauge
+              (Printf.sprintf "service.queue_depth{shard=\"%d\"}" index);
+        })
+  in
   let t =
     {
-      config;
+      config = { config with workers };
       lsock;
       bound_port;
       draining = Atomic.make false;
       cmu = Mutex.create ();
       ccond = Condition.create ();
       conns = Queue.create ();
-      jmu = Mutex.create ();
-      jcond = Condition.create ();
-      jobs = Queue.create ();
+      shards;
+      tmu = Mutex.create ();
       table = Hashtbl.create 64;
       finished = Queue.create ();
       next_id = Atomic.make 0;
-      emu = Mutex.create ();
-      engines = [];
       c = counters ();
       domains = [];
       stopped = Atomic.make false;
@@ -782,54 +930,91 @@ let start config =
         Obs.Metrics.histogram
           ~buckets:[| 1.; 2.; 4.; 8.; 16.; 32.; 64. |]
           "service.batch_size";
-      g_queue = Obs.Metrics.gauge "service.queue_depth";
     }
   in
   (* Warm the shared pool before going multi-domain (it is lazily
      created and registers its at_exit teardown exactly once). *)
   ignore (Parallel.Pool.shared ());
+  (* Multi-worker auto mode: give each shard a private slice of the
+     evaluation cores. One shared pool would serialize the shards on
+     its submit lock — the exact cross-domain contention this tier
+     exists to remove. *)
+  if config.auto_worker && workers > 1 then begin
+    let per_shard = Int.max 1 (Parallel.Pool.default_domains () / workers) in
+    Array.iter
+      (fun sh -> sh.pool <- Some (Parallel.Pool.create ~domains:per_shard ()))
+      t.shards
+  end;
   let spawned = ref [ Domain.spawn (fun () -> acceptor t) ] in
   for _ = 1 to config.conn_domains do
     spawned := Domain.spawn (fun () -> conn_worker t) :: !spawned
   done;
   if config.auto_worker then
-    spawned := Domain.spawn (fun () -> worker_loop t) :: !spawned;
+    Array.iter
+      (fun sh -> spawned := Domain.spawn (fun () -> worker_loop t sh) :: !spawned)
+      t.shards;
   t.domains <- !spawned;
   t
 
 let stop t =
   if Atomic.compare_and_set t.stopped false true then begin
     (* Give queued jobs [drain_grace_s] to finish before draining flips
-       handlers off — sync waiters still poll their job atomics. *)
-    let deadline = Unix.gettimeofday () +. t.config.drain_grace_s in
+       handlers off — sync waiters still poll their job atomics. The
+       grace timer runs on the monotonic clock, same as deadlines. *)
+    let deadline = Obs.Clock.now_s () +. t.config.drain_grace_s in
+    let all_empty () =
+      Array.for_all
+        (fun sh ->
+          Mutex.lock sh.mu;
+          let e = Queue.is_empty sh.jobs in
+          Mutex.unlock sh.mu;
+          e)
+        t.shards
+    in
     let rec wait_empty () =
-      Mutex.lock t.jmu;
-      let empty = Queue.is_empty t.jobs in
-      Mutex.unlock t.jmu;
-      if (not empty) && Unix.gettimeofday () < deadline then begin
+      if (not (all_empty ())) && Obs.Clock.now_s () < deadline then begin
         Unix.sleepf 0.01;
         wait_empty ()
       end
     in
     if t.config.auto_worker then wait_empty ();
     Atomic.set t.draining true;
-    (* Cancel whatever is still queued. *)
-    Mutex.lock t.jmu;
-    Queue.iter
-      (fun j ->
-        if Atomic.compare_and_set j.state Queued Cancelled then begin
-          Atomic.incr t.c.c_cancelled;
-          Queue.push j.id t.finished
-        end)
-      t.jobs;
-    Queue.clear t.jobs;
-    Condition.broadcast t.jcond;
-    Mutex.unlock t.jmu;
+    (* Cancel whatever is still queued, shard by shard. *)
+    Array.iter
+      (fun sh ->
+        Mutex.lock sh.mu;
+        let cancelled =
+          Queue.fold
+            (fun acc j ->
+              if Atomic.compare_and_set j.state Queued Cancelled then begin
+                Atomic.incr t.c.c_cancelled;
+                j.id :: acc
+              end
+              else acc)
+            [] sh.jobs
+        in
+        Queue.clear sh.jobs;
+        Condition.broadcast sh.cond;
+        Mutex.unlock sh.mu;
+        Mutex.lock t.tmu;
+        List.iter (fun id -> Queue.push id t.finished) cancelled;
+        Mutex.unlock t.tmu)
+      t.shards;
     Mutex.lock t.cmu;
     Condition.broadcast t.ccond;
     Mutex.unlock t.cmu;
     List.iter Domain.join t.domains;
     t.domains <- [];
+    (* Private shard pools die with the server; Pool.shared stays (its
+       at_exit teardown owns it), so start/stop/start cycles work. *)
+    Array.iter
+      (fun sh ->
+        match sh.pool with
+        | Some p ->
+          sh.pool <- None;
+          Parallel.Pool.shutdown p
+        | None -> ())
+      t.shards;
     (* Connections still queued but never picked up: close them. *)
     Queue.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.conns;
     Queue.clear t.conns;
@@ -839,8 +1024,9 @@ let stop t =
 let serve_forever config =
   Stop.with_scope (fun scope ->
       let t = start config in
-      Printf.printf "serving on %s:%d (version %s)\n%!" config.host (port t)
-        Build_info.version;
+      Printf.printf "serving on %s:%d (version %s, %d workers)\n%!" config.host
+        (port t) Build_info.version
+        (Array.length t.shards);
       while not (Stop.requested scope) do
         Unix.sleepf 0.1
       done;

@@ -69,14 +69,35 @@ let sample_of_metrics body =
       | Some (Json.Obj fields) -> fields
       | _ -> []
     in
+    (* A sharded server exposes one stage family per shard
+       ([service.stage_seconds{stage="eval",shard="k"}]); top shows the
+       service-wide view, so merge every shard's histogram of a stage
+       into one (bounds are the shared latency buckets). *)
+    let merge a b =
+      if Array.length a.counts <> Array.length b.counts then a
+      else
+        {
+          bounds = a.bounds;
+          counts = Array.mapi (fun i c -> c + b.counts.(i)) a.counts;
+          total = a.total + b.total;
+        }
+    in
     let stages =
-      List.filter_map
-        (fun (name, j) ->
+      List.fold_left
+        (fun acc (name, j) ->
           match Obs.Openmetrics.split_name name with
-          | "service.stage_seconds", [ ("stage", stage) ] ->
-            Option.map (fun h -> (stage, h)) (hist_of_json j)
-          | _ -> None)
-        histograms
+          | "service.stage_seconds", (("stage", stage) :: _) -> (
+            match hist_of_json j with
+            | None -> acc
+            | Some h -> (
+              match List.assoc_opt stage acc with
+              | None -> acc @ [ (stage, h) ]
+              | Some prev ->
+                List.map
+                  (fun (s, v) -> if String.equal s stage then (s, merge prev h) else (s, v))
+                  acc))
+          | _ -> acc)
+        [] histograms
     in
     let request_hist =
       Option.bind (List.assoc_opt "service.request_seconds" histograms) hist_of_json
@@ -187,7 +208,8 @@ let fmt_seconds s =
   else Printf.sprintf "%6.2fs" s
 
 (* canonical request-lifecycle order; unknown stages sort after, alphabetically *)
-let stage_order = [ "parse"; "admit"; "queue"; "batch"; "eval"; "encode"; "write" ]
+let stage_order =
+  [ "parse"; "decode"; "queue"; "batch"; "admit"; "eval"; "encode"; "write" ]
 
 let stage_rank s =
   let rec go i = function

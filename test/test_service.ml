@@ -120,10 +120,11 @@ let http_fuzz_never_raises =
 
 (* --- Protocol ---------------------------------------------------- *)
 
-let named_job ?(schedules = [ Proto.Heuristic "HEFT" ]) ?(ul = 1.1) ?deadline_ms () =
+let named_job ?(schedules = [ Proto.Heuristic "HEFT" ]) ?(ul = 1.1) ?deadline_ms
+    ?(seed = 1L) () =
   {
     Proto.workload =
-      Proto.Named { kind = Experiments.Case.Cholesky; n = 10; procs = 3; seed = 1L };
+      Proto.Named { kind = Experiments.Case.Cholesky; n = 10; procs = 3; seed };
     ul;
     backend = Makespan.Engine.Classical;
     schedules;
@@ -337,6 +338,120 @@ let server_batches_same_key_jobs () =
               | Error e -> Alcotest.fail e)
             [ (id1, j1); (id2, j2) ]))
 
+(* Sharded tier: same-key jobs must land on one shard (and batch
+   there); distinct keys must spread. Routing is pure consistent
+   hashing, so [Server.shard_of_key] predicts every placement. *)
+let server_shards_by_key () =
+  let config =
+    { Server.default_config with Server.auto_worker = false; workers = 4 }
+  in
+  with_server ~config (fun t ->
+      with_client t (fun c ->
+          let submit job =
+            match Client.submit c job with Ok id -> id | Error e -> Alcotest.fail e
+          in
+          (* two jobs of one case + six other cases (distinct seeds) *)
+          let twin_a = named_job ~schedules:[ Proto.Heuristic "HEFT" ] () in
+          let twin_b = named_job ~schedules:[ Proto.Random { count = 2; seed = 9L } ] () in
+          let others = List.init 6 (fun i -> named_job ~seed:(Int64.of_int (50 + i)) ()) in
+          ignore (submit twin_a);
+          ignore (submit twin_b);
+          List.iter (fun j -> ignore (submit j)) others;
+          let s = Server.stats t in
+          Alcotest.(check int) "four shards" 4 s.Server.workers;
+          Alcotest.(check int) "all queued" 8 s.Server.queue_depth;
+          let home = Server.shard_of_key t (Proto.key_of_job twin_a) in
+          Alcotest.(check int) "twin routing agrees" home
+            (Server.shard_of_key t (Proto.key_of_job twin_b));
+          Alcotest.(check bool) "same-key pair on its home shard" true
+            (s.Server.shard_depth.(home) >= 2);
+          let occupied =
+            Array.fold_left (fun n d -> if d > 0 then n + 1 else n) 0 s.Server.shard_depth
+          in
+          Alcotest.(check bool) "distinct keys spread over shards" true (occupied >= 2);
+          (* drain every shard; the twins must ride one batch *)
+          let rec drain n = if Server.step t > 0 then drain (n + 1) else n in
+          ignore (drain 0);
+          let s = Server.stats t in
+          Alcotest.(check int) "everything evaluated" 8 s.Server.jobs_done;
+          Alcotest.(check int) "twins batched together" 2 s.Server.max_batch;
+          Alcotest.(check int) "one engine per distinct key" 7 s.Server.engines_created;
+          Alcotest.(check bool) "per-shard job counts add up" true
+            (Array.fold_left ( + ) 0 s.Server.shard_jobs = 8)))
+
+(* Drain with N workers: draining rejections are counted and visible,
+   queued jobs across every shard are cancelled. *)
+let server_drain_with_workers () =
+  let config =
+    { Server.default_config with Server.auto_worker = false; workers = 3 }
+  in
+  let t = Server.start config in
+  let c = Client.connect ~port:(Server.port t) () in
+  (* spread a few jobs over the shards before the drain begins *)
+  let admitted = ref 0 in
+  for i = 0 to 4 do
+    match Client.submit c (named_job ~seed:(Int64.of_int (80 + i)) ()) with
+    | Ok _ -> incr admitted
+    | Error e -> Alcotest.fail e
+  done;
+  let stopper = Domain.spawn (fun () -> Server.stop t) in
+  (* keep submitting on the live connection until drain mode answers;
+     the first response sent after the flip is the draining 503 *)
+  let saw_draining = ref false in
+  (try
+     while not !saw_draining do
+       match Client.post c "/jobs" (Proto.job_to_json (named_job ())) with
+       | Ok resp when resp.Http.status = 202 -> incr admitted
+       | Ok resp ->
+         Alcotest.(check int) "drain rejection is 503" 503 resp.Http.status;
+         Alcotest.(check bool) "body says draining" true
+           (contains ~needle:"draining" resp.Http.body);
+         saw_draining := true
+       | Error _ -> Alcotest.fail "connection died before the draining 503"
+     done
+   with e ->
+     Domain.join stopper;
+     raise e);
+  Domain.join stopper;
+  Client.close c;
+  let s = Server.stats t in
+  Alcotest.(check bool) "draining rejection counted" true (s.Server.rejected_draining >= 1);
+  Alcotest.(check int) "every queued job cancelled" !admitted s.Server.jobs_cancelled;
+  Alcotest.(check int) "all shard queues empty" 0 s.Server.queue_depth
+
+(* Deadlines are monotonic: a simulated NTP step (the wall-clock skew
+   hook) must neither mass-expire fresh jobs nor immortalize stale
+   ones. The pre-fix implementation compared [Unix.gettimeofday]. *)
+let server_deadline_survives_wall_step () =
+  let config = { Server.default_config with Server.auto_worker = false; workers = 2 } in
+  Fun.protect
+    ~finally:(fun () -> Server.set_wall_offset_for_tests 0.)
+    (fun () ->
+      with_server ~config (fun t ->
+          with_client t (fun c ->
+              (* wall clock jumps 1 h forward: a 60 s deadline must hold *)
+              Server.set_wall_offset_for_tests 3600.;
+              let id =
+                match Client.submit c (named_job ~deadline_ms:60000 ()) with
+                | Ok id -> id
+                | Error e -> Alcotest.fail e
+              in
+              Alcotest.(check int) "job survives the forward step" 1 (Server.step t);
+              (match Client.wait c id with
+              | Ok _ -> ()
+              | Error e -> Alcotest.fail ("job after forward step: " ^ e));
+              Alcotest.(check int) "nothing expired" 0 (Server.stats t).Server.jobs_expired;
+              (* wall clock jumps 2 h back: a 30 ms deadline still fires *)
+              Server.set_wall_offset_for_tests (-7200.);
+              (match Client.post c "/eval" (Proto.job_to_json (named_job ~deadline_ms:30 ())) with
+              | Ok resp ->
+                Alcotest.(check int) "expires on monotonic time" 504 resp.Http.status
+              | Error e -> Alcotest.fail (Http.error_to_string e));
+              Alcotest.(check int) "expiry counted" 1 (Server.stats t).Server.jobs_expired;
+              ignore (Server.step t);
+              Alcotest.(check int) "expired job never evaluated" 1
+                (Server.stats t).Server.jobs_done)))
+
 let server_backpressure_503 () =
   let config =
     { Server.default_config with Server.auto_worker = false; queue_capacity = 1 }
@@ -451,7 +566,7 @@ let server_propagates_trace () =
             (fun stage ->
               Alcotest.(check bool) (stage ^ " stage present") true
                 (contains ~needle:(Printf.sprintf "\"name\":\"%s\"" stage) chrome))
-            [ "parse"; "admit"; "queue"; "batch"; "eval"; "encode"; "write" ];
+            [ "parse"; "decode"; "queue"; "batch"; "admit"; "eval"; "encode"; "write" ];
           (* the filtered export carries no other trace *)
           let events =
             let n = ref 0 and i = ref 0 in
@@ -507,10 +622,13 @@ let server_exposes_openmetrics () =
               [
                 "service_requests_total";
                 "service_jobs_done_total";
+                "service_rejected_draining_total";
                 "service_engine_reevals_total";
                 "service_engine_reeval_max_cone";
                 "service_request_seconds_bucket";
-                "service_stage_seconds_bucket{stage=\"eval\"";
+                "service_stage_seconds_bucket{stage=\"eval\",shard=\"0\"";
+                "service_shard_jobs_total{shard=\"0\"";
+                "service_queue_depth{shard=\"0\"";
                 "# EOF";
               ]
           | Error e -> Alcotest.fail (Http.error_to_string e));
@@ -654,6 +772,9 @@ let () =
         [
           tc "sync eval = local bytes" `Quick server_sync_eval_matches_local;
           tc "batches same-key jobs" `Quick server_batches_same_key_jobs;
+          tc "shards by key" `Quick server_shards_by_key;
+          tc "drain with workers" `Quick server_drain_with_workers;
+          tc "deadline survives wall step" `Quick server_deadline_survives_wall_step;
           tc "backpressure 503" `Quick server_backpressure_503;
           tc "deadline 504" `Quick server_deadline_expires_504;
           tc "invalid requests" `Quick server_rejects_invalid_requests;
