@@ -525,6 +525,60 @@ let reeval_tests =
            ignore (Makespan.Engine.reevaluate ~commit:false session ~moved ~to_)));
   ]
 
+(* robustness-aware search: one short annealing run per Bechamel run (the
+   whole probe/accept/frontier loop, sessions included) plus the raw swap
+   probe on a warm session. BENCH_search.json turns the first into the
+   moves/sec headline; the incremental share comes from one deterministic
+   run measured at write time, not from timing. *)
+let search_steps_per_run = 32
+
+let heft_init inst =
+  match Sched.Registry.parse "HEFT" with
+  | Ok e -> e.Sched.Registry.run inst.E.Case.graph inst.E.Case.platform
+  | Error e -> failwith e
+
+let search_engine =
+  lazy
+    (let inst, _ = Lazy.force random30 in
+     Makespan.Engine.create ~graph:inst.E.Case.graph ~platform:inst.E.Case.platform
+       ~model:inst.E.Case.model)
+
+(* warm session + one precomputed feasible swap, the swap analogue of
+   reeval_fixture *)
+let swap_fixture =
+  lazy
+    (let _, scheds = Lazy.force sched_batch in
+     let sched = scheds.(0) in
+     let session = Makespan.Engine.start_session (Lazy.force search_engine) sched in
+     let rng = Prng.Xoshiro.create 17L in
+     let swap =
+       match Sched.Neighbor.random_swap ~rng sched with
+       | Some s -> s
+       | None -> failwith "bench: no feasible swap on random30"
+     in
+     ignore
+       (Makespan.Engine.reevaluate_swap ~commit:false session ~a:swap.Sched.Neighbor.a
+          ~b:swap.Sched.Neighbor.b);
+     (session, swap))
+
+let search_tests =
+  [
+    Test.make ~name:"search:probe-swap"
+      (Staged.stage (fun () ->
+           let session, swap = Lazy.force swap_fixture in
+           ignore
+             (Makespan.Engine.reevaluate_swap ~commit:false session
+                ~a:swap.Sched.Neighbor.a ~b:swap.Sched.Neighbor.b)));
+    Test.make ~name:"search:anneal-32step"
+      (Staged.stage (fun () ->
+           let inst, _ = Lazy.force random30 in
+           let engine = Lazy.force search_engine in
+           let init = heft_init inst in
+           ignore
+             (Search.Anneal.run ~engine ~init
+                { Search.Anneal.default with steps = search_steps_per_run; seed = 9L })));
+  ]
+
 let conv_tests =
   let mk n = Array.init n (fun i -> 1. +. sin (float_of_int i)) in
   let a512 = mk 512 and b512 = mk 512 in
@@ -592,7 +646,7 @@ let run_benchmarks () =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
       (figure_tests @ engine_tests @ substrate_tests @ sched_tests @ dist_tests
-     @ conv_tests @ pool_tests @ reeval_tests)
+     @ conv_tests @ pool_tests @ reeval_tests @ search_tests)
   in
   (* the obs kernels measure overheads expected to sit near zero, so
      they get a longer quota and GC stabilization to push sampling noise
@@ -821,21 +875,93 @@ let write_sched_json results =
   close_out oc;
   Printf.printf "[wrote BENCH_sched.json]\n%!"
 
-(* `--perf-smoke`: the CI fast path — only the dist/conv/pool/sched
+(* BENCH_search.json: the stochastic-optimizer throughput record. The
+   headline is moves/sec through the full annealing loop (probes, commit
+   replays, frontier bookkeeping) on random30/p8; "incremental_pct" is
+   the share of all evaluation work served by dirty-cone replay during a
+   deterministic 256-step run — the ≥ 80% acceptance bound applies to
+   it. *)
+let write_search_json results =
+  let prefix = "search:" in
+  let kernels =
+    List.filter
+      (fun (name, _) ->
+        String.length name >= String.length prefix
+        && String.sub name 0 (String.length prefix) = prefix)
+      results
+  in
+  let get name =
+    match List.assoc_opt name results with
+    | Some ns when Float.is_finite ns && ns > 0. -> Some ns
+    | _ -> None
+  in
+  let ns_field name =
+    match get name with Some ns -> Printf.sprintf "%.3f" ns | None -> "null"
+  in
+  let moves_per_sec =
+    match get "search:anneal-32step" with
+    | Some ns -> Printf.sprintf "%.1f" (float_of_int search_steps_per_run /. (ns *. 1e-9))
+    | None -> "null"
+  in
+  let inst, _ = Lazy.force random30 in
+  let outcome =
+    Search.Anneal.run ~engine:(Lazy.force search_engine) ~init:(heft_init inst)
+      { Search.Anneal.default with steps = 256 }
+  in
+  let stats = outcome.Search.Anneal.stats in
+  let json_field (name, ns) =
+    Printf.sprintf "    { \"name\": %S, \"ns\": %s }" name
+      (if Float.is_nan ns then "null" else Printf.sprintf "%.3f" ns)
+  in
+  let oc = open_out "BENCH_search.json" in
+  Printf.fprintf oc
+    "{\n\
+    \  \"unit\": \"ns/run\",\n\
+    \  \"case\": \"random30/p8\",\n\
+    \  \"objective\": %S,\n\
+    \  \"steps_per_run\": %d,\n\
+    \  \"anneal_run_ns\": %s,\n\
+    \  \"moves_per_sec\": %s,\n\
+    \  \"probe_swap_ns\": %s,\n\
+    \  \"probe_reassign_ns\": %s,\n\
+    \  \"ref_steps\": %d,\n\
+    \  \"incremental_pct\": %.2f,\n\
+    \  \"objective_improvement_pct\": %.2f,\n\
+    \  \"frontier_size\": %d,\n\
+    \  \"kernels\": [\n%s\n  ]\n\
+     }\n"
+    (Search.Objective.name Search.Anneal.default.Search.Anneal.objective)
+    search_steps_per_run
+    (ns_field "search:anneal-32step")
+    moves_per_sec
+    (ns_field "search:probe-swap")
+    (ns_field "engine:reeval-1move")
+    stats.Search.Anneal.steps_done
+    (100. *. Search.Anneal.incremental_fraction stats)
+    (100.
+    *. (outcome.Search.Anneal.init_objective -. outcome.Search.Anneal.best_objective)
+    /. Float.max 1e-12 (Float.abs outcome.Search.Anneal.init_objective))
+    (Search.Archive.size outcome.Search.Anneal.frontier)
+    (String.concat ",\n" (List.map json_field kernels));
+  close_out oc;
+  Printf.printf "[wrote BENCH_search.json]\n%!"
+
+(* `--perf-smoke`: the CI fast path — only the dist/conv/pool/sched/search
    kernels, short quotas, no figure reproduction. Still writes
-   BENCH_dist.json and BENCH_sched.json. *)
+   BENCH_dist.json, BENCH_sched.json and BENCH_search.json. *)
 let perf_smoke () =
   Printf.printf
-    "================ perf smoke (dist/conv/pool/sched/reeval) ================\n\n";
+    "================ perf smoke (dist/conv/pool/sched/reeval/search) ================\n\n";
   Printf.printf "%-36s  %14s\n" "kernel" "time/run";
   Printf.printf "%s\n" (String.make 52 '-');
   let kernels =
     run_kernels
       (Benchmark.cfg ~limit:300 ~quota:(Time.second 0.25) ~kde:None ())
-      (dist_tests @ conv_tests @ pool_tests @ sched_tests @ reeval_tests)
+      (dist_tests @ conv_tests @ pool_tests @ sched_tests @ reeval_tests @ search_tests)
   in
   write_dist_json kernels;
   write_sched_json kernels;
+  write_search_json kernels;
   Parallel.Pool.shutdown (Lazy.force bench_pool)
 
 let () =
@@ -847,5 +973,6 @@ let () =
     write_obs_json results;
     write_dist_json results;
     write_sched_json results;
+    write_search_json results;
     Parallel.Pool.shutdown (Lazy.force bench_pool)
   end

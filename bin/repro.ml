@@ -757,6 +757,201 @@ let check_metrics_cmd =
             Stdlib.exit 1)
       $ input_arg)
 
+(* --- robustness-aware search: repro optimize --- *)
+
+let flat_sched sched =
+  String.concat "|"
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' (Sched.Schedule.to_string sched)))
+
+(* Build the spec string first and parse it like any other anneal:...
+   name, so the spec the command reports is — by construction — the one
+   that reproduces this exact run through the registry. *)
+let optimize_spec ~objective ~steps ~opt_seed ~restarts ~policy ~t0 ~alpha ~target ~window
+    ~init ~mix ~max_cone ~delta ~gamma ~axis ~ul =
+  let parts = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> parts := s :: !parts) fmt in
+  add "obj=%s" objective;
+  add "steps=%d" steps;
+  add "seed=%Ld" opt_seed;
+  if restarts <> 0 then add "restarts=%d" restarts;
+  add "policy=%s" policy;
+  Option.iter (fun v -> add "t0=%.17g" v) t0;
+  Option.iter (fun v -> add "alpha=%.17g" v) alpha;
+  Option.iter (fun v -> add "target=%.17g" v) target;
+  Option.iter (fun v -> add "window=%d" v) window;
+  (* composed inits are spliced in as their component keys *)
+  if String.contains init '=' then
+    List.iter
+      (fun p -> if p <> "" then add "%s" p)
+      (String.split_on_char ','
+         (String.map (fun c -> if c = ';' then ',' else c) init))
+  else add "init=%s" init;
+  add "mix=%s" mix;
+  Option.iter (fun v -> add "max-cone=%d" v) max_cone;
+  Option.iter (fun v -> add "delta=%.17g" v) delta;
+  Option.iter (fun v -> add "gamma=%.17g" v) gamma;
+  if axis = "slack" then add "axis=slack";
+  add "ul=%.17g" ul;
+  Search.Anneal.spec_prefix ^ String.concat ";" (List.rev !parts)
+
+let json_str s = "\"" ^ Obs.Span.json_escape s ^ "\""
+
+let optimize_summary_json ~kind ~n ~procs ~ul ~case_seed ~spec ~(config : Search.Anneal.config)
+    ~(outcome : Search.Anneal.outcome) ~best_heuristic ~verified =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let stats = outcome.Search.Anneal.stats in
+  let best_eval = outcome.Search.Anneal.best_eval in
+  let best_name, best_h_obj = best_heuristic in
+  add "{\"case\":{\"kind\":%s,\"n\":%d,\"procs\":%d,\"ul\":%.17g,\"seed\":%Ld},"
+    (json_str (E.Case.kind_name kind)) n procs ul case_seed;
+  add "\"objective\":%s,\"spec\":%s,"
+    (json_str (Search.Objective.name config.Search.Anneal.objective))
+    (json_str spec);
+  add "\"delta\":%.17g,\"gamma\":%.17g,"
+    outcome.Search.Anneal.bounds.Search.Objective.delta
+    outcome.Search.Anneal.bounds.Search.Objective.gamma;
+  add "\"init\":{\"scheduler\":%s,\"objective\":%.17g},"
+    (json_str config.Search.Anneal.init)
+    outcome.Search.Anneal.init_objective;
+  add
+    "\"best\":{\"objective\":%.17g,\"expected_makespan\":%.17g,\"makespan_std\":%.17g,\
+     \"slack_total\":%.17g,\"schedule\":%s},"
+    outcome.Search.Anneal.best_objective
+    (Distribution.Dist.mean best_eval.Makespan.Engine.makespan)
+    (Distribution.Dist.std best_eval.Makespan.Engine.makespan)
+    best_eval.Makespan.Engine.slack.Sched.Slack.total
+    (json_str (flat_sched outcome.Search.Anneal.best));
+  add "\"best_heuristic\":{\"name\":%s,\"objective\":%.17g}," (json_str best_name) best_h_obj;
+  add
+    "\"stats\":{\"steps\":%d,\"probes\":%d,\"accepted\":%d,\"infeasible\":%d,\
+     \"priority_moves\":%d,\"restarts\":%d,\"reevals\":%d,\"reeval_incremental\":%d,\
+     \"reeval_full\":%d,\"full_evals\":%d,\"incremental_fraction\":%.17g},"
+    stats.Search.Anneal.steps_done stats.Search.Anneal.probes stats.Search.Anneal.accepted
+    stats.Search.Anneal.infeasible stats.Search.Anneal.priority_moves
+    stats.Search.Anneal.restarts_done stats.Search.Anneal.reevals
+    stats.Search.Anneal.reeval_incremental stats.Search.Anneal.reeval_full
+    stats.Search.Anneal.full_evals
+    (Search.Anneal.incremental_fraction stats);
+  add "\"verified_bitwise\":%b,\"interrupted\":%b,\"frontier_size\":%d}" verified
+    outcome.Search.Anneal.interrupted
+    (Search.Archive.size outcome.Search.Anneal.frontier);
+  Buffer.contents b
+
+let run_optimize ctx kind n procs ul spec =
+  match Search.Anneal.parse_spec spec with
+  | Error e ->
+    prerr_endline ("repro optimize: " ^ e);
+    2
+  | Ok (config, _spec_ul) ->
+    let inst = instance kind n procs ul ctx.seed in
+    let graph = inst.E.Case.graph and platform = inst.E.Case.platform in
+    let engine = Makespan.Engine.create ~graph ~platform ~model:inst.E.Case.model in
+    let init_sched =
+      match Sched.Registry.parse config.Search.Anneal.init with
+      | Ok e -> e.Sched.Registry.run graph platform
+      | Error e ->
+        prerr_endline ("repro optimize: init scheduler: " ^ e);
+        Stdlib.exit 2
+    in
+    let outcome =
+      E.Stop.with_scope (fun scope ->
+          Search.Anneal.run
+            ~should_stop:(fun () -> E.Stop.requested scope)
+            ~engine ~init:init_sched config)
+    in
+    let bounds = outcome.Search.Anneal.bounds in
+    let objective ev = Search.Objective.value config.Search.Anneal.objective bounds ev in
+    (* heuristic baselines under the same objective and bounds *)
+    let baselines =
+      List.map
+        (fun e ->
+          let sched = e.Sched.Registry.run graph platform in
+          let ev = Makespan.Engine.analyze engine sched in
+          (e.Sched.Registry.name, ev, objective ev))
+        Sched.Registry.entries
+    in
+    let best_name, _, best_h_obj =
+      List.fold_left
+        (fun ((_, _, bo) as best) ((_, _, o) as cand) -> if o < bo then cand else best)
+        (List.hd baselines) (List.tl baselines)
+    in
+    let fresh = Makespan.Engine.analyze engine outcome.Search.Anneal.best in
+    let verified =
+      Int64.bits_of_float (objective fresh)
+      = Int64.bits_of_float outcome.Search.Anneal.best_objective
+    in
+    let canonical =
+      Search.Anneal.canonical_spec config ~ul:inst.E.Case.case.E.Case.ul
+    in
+    let stats = outcome.Search.Anneal.stats in
+    Printf.printf "optimize: %s %d tasks / %d procs / UL %g (case seed %Ld)\n"
+      (E.Case.kind_name kind)
+      (Dag.Graph.n_tasks graph)
+      procs ul (Int64.add 1L ctx.seed);
+    Printf.printf "objective: %s  (delta %.6g, gamma %.8g)\n"
+      (Search.Objective.name config.Search.Anneal.objective)
+      bounds.Search.Objective.delta bounds.Search.Objective.gamma;
+    Printf.printf "spec: %s\n\n" canonical;
+    Printf.printf "heuristic baselines:\n";
+    Printf.printf "  %-28s %12s %12s %14s\n" "scheduler" "E(M)" "sigma_M" "objective";
+    List.iter
+      (fun (name, ev, o) ->
+        Printf.printf "  %-28s %12.4f %12.4f %14.6f\n" name
+          (Distribution.Dist.mean ev.Makespan.Engine.makespan)
+          (Distribution.Dist.std ev.Makespan.Engine.makespan)
+          o)
+      baselines;
+    Printf.printf "  best heuristic: %s (objective %.6f)\n\n" best_name best_h_obj;
+    Printf.printf "search: %d steps, %d probes, %d accepted, %d infeasible draws, \
+                   %d priority rebuilds, %d restarts\n"
+      stats.Search.Anneal.steps_done stats.Search.Anneal.probes
+      stats.Search.Anneal.accepted stats.Search.Anneal.infeasible
+      stats.Search.Anneal.priority_moves stats.Search.Anneal.restarts_done;
+    Printf.printf
+      "incremental re-evaluation: %.1f%% of evaluation work (%d reevals: %d incremental, \
+       %d full; %d fresh sweeps)\n"
+      (100. *. Search.Anneal.incremental_fraction stats)
+      stats.Search.Anneal.reevals stats.Search.Anneal.reeval_incremental
+      stats.Search.Anneal.reeval_full stats.Search.Anneal.full_evals;
+    let best_eval = outcome.Search.Anneal.best_eval in
+    Printf.printf "initial objective (%s): %.6f\n" config.Search.Anneal.init
+      outcome.Search.Anneal.init_objective;
+    Printf.printf "best objective: %.6f  (E(M) %.4f, sigma_M %.4f, slack %.4f)\n"
+      outcome.Search.Anneal.best_objective
+      (Distribution.Dist.mean best_eval.Makespan.Engine.makespan)
+      (Distribution.Dist.std best_eval.Makespan.Engine.makespan)
+      best_eval.Makespan.Engine.slack.Sched.Slack.total;
+    let rel =
+      if best_h_obj <> 0. then
+        100. *. (best_h_obj -. outcome.Search.Anneal.best_objective) /. Float.abs best_h_obj
+      else nan
+    in
+    Printf.printf "vs best heuristic: %+.2f%%\n" rel;
+    Printf.printf "objective bitwise-equal to fresh analyze: %b\n" verified;
+    if outcome.Search.Anneal.interrupted then
+      Printf.printf "interrupted: partial result (stop requested mid-search)\n";
+    let frontier = outcome.Search.Anneal.frontier in
+    Printf.printf "\nfrontier (E(M) vs %s), %d points:\n"
+      (match Search.Archive.axis frontier with `Sigma -> "sigma_M" | `Slack -> "slack")
+      (Search.Archive.size frontier);
+    Printf.printf "  %6s %12s %12s %12s %14s\n" "step" "E(M)" "sigma_M" "slack" "objective";
+    List.iter
+      (fun (p : Search.Archive.point) ->
+        Printf.printf "  %6d %12.4f %12.4f %12.4f %14.6f\n" p.Search.Archive.step
+          p.Search.Archive.em p.Search.Archive.sigma p.Search.Archive.slack
+          p.Search.Archive.objective)
+      (Search.Archive.points frontier);
+    Printf.printf "\nbest schedule:\n%s" (Sched.Schedule.to_string outcome.Search.Anneal.best);
+    save ctx "frontier.csv" (Search.Archive.to_csv frontier);
+    save ctx "frontier.json" (Search.Archive.to_json frontier);
+    save ctx "summary.json"
+      (optimize_summary_json ~kind ~n ~procs ~ul ~case_seed:(Int64.add 1L ctx.seed)
+         ~spec:canonical ~config ~outcome
+         ~best_heuristic:(best_name, best_h_obj)
+         ~verified);
+    if outcome.Search.Anneal.interrupted then 130 else 0
+
 (* Returns the process exit code: 0 on full success, 2 when some case
    failed permanently (results above exclude it), 130 when a stop was
    requested (SIGINT/SIGTERM) — checkpoints and manifest are saved, so
@@ -918,6 +1113,137 @@ let sched_cmd =
           (rank/select/insert) and provenance, plus the composition grammar.")
     Term.(const (fun _list -> run_sched_list ()) $ list_arg)
 
+let optimize_cmd =
+  let objective_arg =
+    Arg.(
+      value & opt string "sigma_m"
+      & info [ "objective" ] ~docv:"OBJ"
+          ~doc:
+            "Objective to minimize: $(b,makespan), $(b,sigma_m), $(b,entropy), \
+             $(b,slack), $(b,slack_std), $(b,lateness), $(b,a_delta), $(b,r_gamma) or \
+             $(b,blend:LAMBDA) (E(M) + LAMBDA*sigma_M). Better-when-larger metrics are \
+             negated internally.")
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 400
+      & info [ "steps" ] ~docv:"N" ~doc:"Total probe budget (split across restarts).")
+  in
+  let opt_seed_arg =
+    Arg.(
+      value & opt int64 0L
+      & info [ "opt-seed" ] ~docv:"SEED"
+          ~doc:"Search seed (SplitMix64 root); runs are byte-reproducible per seed.")
+  in
+  let restarts_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "restarts" ] ~docv:"R" ~doc:"Extra runs re-seeded from the incumbent best.")
+  in
+  let policy_arg =
+    Arg.(
+      value & opt string "metropolis"
+      & info [ "policy" ] ~docv:"P"
+          ~doc:
+            "Acceptance policy: $(b,hill) (strict improvements), $(b,metropolis) \
+             (geometric cooling) or $(b,adaptive) (acceptance-rate-steered cooling).")
+  in
+  let t0_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "t0" ] ~docv:"T"
+          ~doc:"Initial temperature (default: 5% of the initial objective magnitude).")
+  in
+  let alpha_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:"Geometric cooling factor per step (default: 1000x decay over the run).")
+  in
+  let target_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "target" ] ~docv:"RATE"
+          ~doc:"Adaptive cooling: steer the acceptance rate toward $(docv) (default 0.25).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "window" ] ~docv:"N" ~doc:"Adaptive cooling correction window (default 32).")
+  in
+  let init_arg =
+    Arg.(
+      value & opt string "HEFT"
+      & info [ "init" ] ~docv:"SCHED"
+          ~doc:
+            "Initial schedule: a registry scheduler name or a \
+             $(b,rank=R;select=S) composition.")
+  in
+  let mix_arg =
+    Arg.(
+      value & opt string "12:3:1"
+      & info [ "mix" ] ~docv:"R:S:P"
+          ~doc:
+            "Move-generator weights: one-task reassigns : task swaps : priority \
+             perturbations replayed through the list scheduler.")
+  in
+  let max_cone_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-cone" ] ~docv:"N"
+          ~doc:"Dirty-cone cutoff forwarded to the incremental engine session.")
+  in
+  let delta_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "delta" ] ~docv:"D"
+          ~doc:"A(delta) bound override (default: calibrated from the initial schedule).")
+  in
+  let gamma_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "gamma" ] ~docv:"G" ~doc:"R(gamma) bound override (same convention).")
+  in
+  let frontier_arg =
+    let parse = function
+      | "sigma" -> Ok "sigma"
+      | "slack" -> Ok "slack"
+      | s -> Error (`Msg (Printf.sprintf "unknown frontier axis %S (sigma|slack)" s))
+    in
+    Arg.(
+      value
+      & opt (conv (parse, Format.pp_print_string)) "sigma"
+      & info [ "frontier" ] ~docv:"AXIS"
+          ~doc:
+            "Pareto frontier y-axis: $(b,sigma) (E(M) vs sigma_M) or $(b,slack) \
+             (E(M) vs total slack — the slack-injecting variant quantifying the \
+             paper's slack-conflicts-with-makespan trade).")
+  in
+  Cmd.v
+    (Cmd.info "optimize"
+       ~doc:
+         "Robustness-aware stochastic schedule optimization: simulated \
+          annealing / hill climbing over reassign, swap and priority-perturbation \
+          moves, probed through the incremental evaluation engine. Prints heuristic \
+          baselines, the Pareto frontier and the canonical $(b,anneal:...) spec that \
+          replays the run; $(b,--out) writes frontier.csv, frontier.json and \
+          summary.json. Exits 130 on SIGINT/SIGTERM with the partial frontier.")
+    Term.(
+      const
+        (fun ctx kind n procs ul objective steps opt_seed restarts policy t0 alpha target
+             window init mix max_cone delta gamma axis ->
+          let spec =
+            optimize_spec ~objective ~steps ~opt_seed ~restarts ~policy ~t0 ~alpha ~target
+              ~window ~init ~mix ~max_cone ~delta ~gamma ~axis ~ul
+          in
+          let code = run_optimize ctx kind n procs ul spec in
+          finalize ctx;
+          if code <> 0 then Stdlib.exit code)
+      $ ctx_term $ case_arg $ n_arg $ procs_arg $ ul_arg $ objective_arg $ steps_arg
+      $ opt_seed_arg $ restarts_arg $ policy_arg $ t0_arg $ alpha_arg $ target_arg
+      $ window_arg $ init_arg $ mix_arg $ max_cone_arg $ delta_arg $ gamma_arg
+      $ frontier_arg)
+
 let () =
   let cmds =
     [
@@ -939,6 +1265,7 @@ let () =
         run_ablation;
       campaign_cmd;
       sched_cmd;
+      optimize_cmd;
       cmd "all" "Every figure and in-text result in sequence." run_all;
       case_cmd "gantt" "Gantt charts of all heuristics on a chosen workload." run_gantt;
       case_cmd "dot" "Export a workload DAG as Graphviz." run_dot;

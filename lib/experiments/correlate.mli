@@ -6,13 +6,17 @@ val matrix :
   ?invert:bool -> ?method_:[ `Pearson | `Spearman ] -> float array array -> float array array
 (** [matrix rows] is the 8×8 correlation matrix over the (by default
     inverted) metric columns. Nan handling is explicit: a {e degenerate}
-    column — zero variance, fewer than two schedules, or containing a
-    nan — yields [nan] in every off-diagonal cell it touches (the
+    column — every value bitwise-equal to the first (exact equality, not
+    a variance tolerance: a column constant only up to rounding noise
+    still correlates normally), fewer than two schedules, or containing
+    a nan — yields [nan] in every off-diagonal cell it touches (the
     diagonal stays 1), so one constant metric can never contribute a
     spurious ±1. {!mean_std} then skips those cells per entry.
     [`Spearman] (rank correlation) is the robustness check for the
     "slightly curved" point clouds the paper mentions; default
-    [`Pearson], as in the paper. *)
+    [`Pearson], as in the paper.
+
+    @raise Invalid_argument on an empty [rows] (zero schedules). *)
 
 val of_result : Runner.result -> float array array
 (** Correlations over the {e random} schedules of a run, as the paper
@@ -23,4 +27,6 @@ val mean_std : float array array list -> float array array * float array array
     correlation matrices — the two triangles of Fig. 6. Nan entries are
     skipped {e per cell}: a single degenerate case cannot blank a cell
     that other cases populated; a cell that is nan in {e every} matrix
-    stays nan in both outputs. *)
+    stays nan in both outputs.
+
+    @raise Invalid_argument on an empty list. *)

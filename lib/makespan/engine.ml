@@ -56,7 +56,9 @@ type stats = {
   evals_montecarlo : int;
   reevals : int;
   reeval_incremental : int;
-  reeval_full : int;  (** fallbacks: cone over cutoff, or a non-incremental backend *)
+  reeval_full : int;  (** all full-sweep fallbacks = [reeval_full_cone + reeval_full_backend] *)
+  reeval_full_cone : int;  (** fallbacks where the dirty cone exceeded [max_cone] *)
+  reeval_full_backend : int;  (** fallbacks on non-incremental backends (Dodin, Monte Carlo) *)
   reeval_cone_nodes : int;
   reeval_max_cone : int;
 }
@@ -75,6 +77,8 @@ let m_evals_spelde = Obs.Metrics.counter "engine.evals.spelde"
 let m_evals_montecarlo = Obs.Metrics.counter "engine.evals.montecarlo"
 let m_reeval_incremental = Obs.Metrics.counter "engine.reeval_incremental"
 let m_reeval_full = Obs.Metrics.counter "engine.reeval_full"
+let m_reeval_full_cone = Obs.Metrics.counter "engine.reeval_full_cone"
+let m_reeval_full_backend = Obs.Metrics.counter "engine.reeval_full_backend"
 let m_reeval_cone_nodes = Obs.Metrics.counter "engine.reeval_cone_nodes"
 
 let span_name = function
@@ -108,7 +112,8 @@ type t = {
   evals_by_backend : int Atomic.t array; (* Classical, Dodin, Spelde, Montecarlo *)
   reevals : int Atomic.t;
   reeval_incremental : int Atomic.t;
-  reeval_full : int Atomic.t;
+  reeval_full_cone : int Atomic.t;
+  reeval_full_backend : int Atomic.t;
   reeval_cone_nodes : int Atomic.t;
   reeval_max_cone : int Atomic.t;
   scratch : scratch Domain.DLS.key;
@@ -151,7 +156,8 @@ let create ~graph ~platform ~model =
     evals_by_backend = Array.init 4 (fun _ -> Atomic.make 0);
     reevals = Atomic.make 0;
     reeval_incremental = Atomic.make 0;
-    reeval_full = Atomic.make 0;
+    reeval_full_cone = Atomic.make 0;
+    reeval_full_backend = Atomic.make 0;
     reeval_cone_nodes = Atomic.make 0;
     reeval_max_cone = Atomic.make 0;
     scratch = Domain.DLS.new_key (fun () -> { dists = [||]; pairs = [||] });
@@ -174,7 +180,9 @@ let stats t =
     evals_montecarlo = Atomic.get t.evals_by_backend.(3);
     reevals = Atomic.get t.reevals;
     reeval_incremental = Atomic.get t.reeval_incremental;
-    reeval_full = Atomic.get t.reeval_full;
+    reeval_full = Atomic.get t.reeval_full_cone + Atomic.get t.reeval_full_backend;
+    reeval_full_cone = Atomic.get t.reeval_full_cone;
+    reeval_full_backend = Atomic.get t.reeval_full_backend;
     reeval_cone_nodes = Atomic.get t.reeval_cone_nodes;
     reeval_max_cone = Atomic.get t.reeval_max_cone;
   }
@@ -191,7 +199,8 @@ let reset_stats t =
      ghost cone totals *)
   Atomic.set t.reevals 0;
   Atomic.set t.reeval_incremental 0;
-  Atomic.set t.reeval_full 0;
+  Atomic.set t.reeval_full_cone 0;
+  Atomic.set t.reeval_full_backend 0;
   Atomic.set t.reeval_cone_nodes 0;
   Atomic.set t.reeval_max_cone 0
 
@@ -480,11 +489,14 @@ let rec bump_max a v =
   let cur = Atomic.get a in
   if v > cur && not (Atomic.compare_and_set a cur v) then bump_max a v
 
-(* Mark dirty nodes in [session.dirty]; returns the cone size. *)
-let mark_dirty_cone session ~moved ~dgraph' =
+(* Mark dirty nodes in [session.dirty]; returns the cone size. [seeds]
+   are the tasks whose own timing certainly changed (the moved task for a
+   reassign, both tasks for a swap); every node whose disjunctive pred
+   sequence changed is seeded too, then the set is closed downward. *)
+let mark_dirty_cone session ~seeds ~dgraph' =
   let dirty = session.dirty in
   Array.fill dirty 0 (Array.length dirty) false;
-  dirty.(moved) <- true;
+  List.iter (fun v -> dirty.(v) <- true) seeds;
   let n = Array.length dirty in
   for v = 0 to n - 1 do
     if
@@ -503,18 +515,21 @@ let mark_dirty_cone session ~moved ~dgraph' =
     (Dag.Graph.topo_order dgraph');
   !cone
 
-let reevaluate ?(commit = true) ?max_cone ?at session ~moved ~to_ =
+(* Shared replay core: [sched'] is the already-patched (hence feasible)
+   schedule, [seeds] the tasks whose timing the patch certainly changed.
+   Callers construct [sched'] *before* this runs, so an infeasible move
+   raises [Invalid_argument] without touching any session state. *)
+let reevaluate_patched ~commit ~max_cone session ~seeds sched' =
   let t = session.engine in
   let n = t.n_tasks in
   let max_cone = match max_cone with Some c -> c | None -> max 1 (n / 2) in
-  let sched' = Sched.Schedule.reassign ?at session.sched ~task:moved ~to_ in
   let dgraph' = Sched.Disjunctive.graph_of sched' in
   count_eval t session.backend;
   Atomic.incr t.reevals;
   let incremental_backend =
     match session.backend with Classical | Spelde -> true | Dodin | Montecarlo _ -> false
   in
-  let cone = if incremental_backend then mark_dirty_cone session ~moved ~dgraph' else n in
+  let cone = if incremental_backend then mark_dirty_cone session ~seeds ~dgraph' else n in
   let incremental = incremental_backend && cone <= max_cone in
   if incremental then begin
     Atomic.incr t.reeval_incremental;
@@ -524,7 +539,14 @@ let reevaluate ?(commit = true) ?max_cone ?at session ~moved ~to_ =
     Obs.Metrics.add m_reeval_cone_nodes cone
   end
   else begin
-    Atomic.incr t.reeval_full;
+    if incremental_backend then begin
+      Atomic.incr t.reeval_full_cone;
+      Obs.Metrics.incr m_reeval_full_cone
+    end
+    else begin
+      Atomic.incr t.reeval_full_backend;
+      Obs.Metrics.incr m_reeval_full_backend
+    end;
     Obs.Metrics.incr m_reeval_full
   end;
   let saved = ref [] in
@@ -586,6 +608,20 @@ let reevaluate ?(commit = true) ?max_cone ?at session ~moved ~to_ =
       !saved;
   ev
 
+let reevaluate ?(commit = true) ?max_cone ?at session ~moved ~to_ =
+  let sched' = Sched.Schedule.reassign ?at session.sched ~task:moved ~to_ in
+  reevaluate_patched ~commit ~max_cone session ~seeds:[ moved ] sched'
+
 let reevaluate_move ?commit ?max_cone session (m : Sched.Neighbor.move) =
   reevaluate ?commit ?max_cone ?at:m.Sched.Neighbor.at session ~moved:m.Sched.Neighbor.task
     ~to_:m.Sched.Neighbor.to_
+
+let reevaluate_swap ?(commit = true) ?max_cone session ~a ~b =
+  let sched' = Sched.Schedule.swap session.sched ~a ~b in
+  reevaluate_patched ~commit ~max_cone session ~seeds:[ a; b ] sched'
+
+let reevaluate_any ?commit ?max_cone session (m : Sched.Neighbor.any) =
+  match m with
+  | Sched.Neighbor.Reassign mv -> reevaluate_move ?commit ?max_cone session mv
+  | Sched.Neighbor.Swap s ->
+    reevaluate_swap ?commit ?max_cone session ~a:s.Sched.Neighbor.a ~b:s.Sched.Neighbor.b

@@ -130,6 +130,17 @@ val reevaluate_move :
   ?commit:bool -> ?max_cone:int -> session -> Sched.Neighbor.move -> evaluation
 (** {!reevaluate} on a packaged {!Sched.Neighbor.move}. *)
 
+val reevaluate_swap :
+  ?commit:bool -> ?max_cone:int -> session -> a:int -> b:int -> evaluation
+(** Like {!reevaluate} for the two-task exchange [Schedule.swap ~a ~b].
+    The dirty cone is seeded from both tasks, so swaps replay exactly
+    the nodes either exchange disturbs. Same [commit] contract; raises
+    [Invalid_argument] (session state untouched) on deadlocking swaps. *)
+
+val reevaluate_any :
+  ?commit:bool -> ?max_cone:int -> session -> Sched.Neighbor.any -> evaluation
+(** Dispatch on either move class. *)
+
 (** {1 Cached views}
 
     Accessors into the engine's caches — used by the evaluation cores
@@ -161,8 +172,11 @@ type stats = {
   reevals : int;  (** total {!reevaluate} calls *)
   reeval_incremental : int;  (** served by a dirty-cone replay *)
   reeval_full : int;
-      (** fell back to a full sweep: cone over [max_cone], or a
-          non-incremental backend (Dodin, Monte-Carlo) *)
+      (** fell back to a full sweep; always
+          [reeval_full_cone + reeval_full_backend] *)
+  reeval_full_cone : int;  (** fallbacks whose dirty cone exceeded [max_cone] *)
+  reeval_full_backend : int;
+      (** fallbacks on non-incremental backends (Dodin, Monte-Carlo) *)
   reeval_cone_nodes : int;  (** total dirty nodes over incremental reevals *)
   reeval_max_cone : int;  (** largest incremental cone seen *)
 }

@@ -256,9 +256,8 @@ let select spec (info : info) state rng ready =
     done;
     (best_task, !best_proc)
 
-let run spec graph platform =
+let run_with_info spec (info : info) graph platform =
   let n = Dag.Graph.n_tasks graph in
-  let info = prepare spec graph platform in
   let rng =
     match spec.selection with
     | Select_crossover seed -> Prng.Splitmix.create seed
@@ -279,3 +278,17 @@ let run spec graph platform =
       (Dag.Graph.succs graph t)
   done;
   State.to_schedule state
+
+let run spec graph platform = run_with_info spec (prepare spec graph platform) graph platform
+
+(* Same driver with the static priority table replaced wholesale — the
+   replay primitive behind priority-perturbation search moves: jitter the
+   ranks, re-run the placement loop, get a (validated) schedule back.
+   Joint selectors (DL, BIM) and OCT/BIL tables keep their own data; only
+   the [pick_task] ordering is overridden. *)
+let run_ranked spec ~priority graph platform =
+  let n = Dag.Graph.n_tasks graph in
+  if Array.length priority <> n then
+    invalid_arg "List_scheduler.run_ranked: priority table has wrong length";
+  let info = { (prepare spec graph platform) with priority } in
+  run_with_info spec info graph platform

@@ -62,3 +62,55 @@ let to_string m =
   match m.at with
   | None -> Printf.sprintf "%d->p%d" m.task m.to_
   | Some p -> Printf.sprintf "%d->p%d@%d" m.task m.to_ p
+
+(* Swap move: exchange two tasks' (processor, position) slots. *)
+
+type swap = { a : int; b : int }
+
+let make_swap ~a ~b = { a; b }
+
+let apply_swap sched (s : swap) = Schedule.swap sched ~a:s.a ~b:s.b
+
+let apply_swap_opt sched s =
+  match apply_swap sched s with
+  | s' -> Some s'
+  | exception Invalid_argument _ -> None
+
+(* Draw a random feasible swap, deterministic in [rng]. Unlike [random]
+   there is no always-feasible fallback swap, so after [attempts]
+   infeasible or degenerate draws this returns [None] (on a 1-task
+   schedule no swap exists at all). *)
+let random_swap ?(attempts = 64) ~rng sched =
+  let n = Schedule.n_tasks sched in
+  if n < 2 then None
+  else
+    let rec draw k =
+      if k = 0 then None
+      else
+        let a = Prng.Xoshiro.int rng n in
+        let b = Prng.Xoshiro.int rng n in
+        if a = b then draw (k - 1)
+        else
+          let s = { a; b } in
+          match apply_swap_opt sched s with Some _ -> Some s | None -> draw (k - 1)
+    in
+    draw attempts
+
+let swap_to_string s = Printf.sprintf "%d<->%d" s.a s.b
+
+(* One feasibility-checked step drawn from either neighborhood —
+   [Reassign] via {!Schedule.reassign}, [Swap] via {!Schedule.swap}. *)
+
+type any = Reassign of move | Swap of swap
+
+let apply_any sched = function
+  | Reassign m -> apply sched m
+  | Swap s -> apply_swap sched s
+
+let apply_any_opt sched = function
+  | Reassign m -> apply_opt sched m
+  | Swap s -> apply_swap_opt sched s
+
+let any_to_string = function
+  | Reassign m -> to_string m
+  | Swap s -> swap_to_string s

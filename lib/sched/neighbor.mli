@@ -34,3 +34,35 @@ val random : ?attempts:int -> rng:Prng.Xoshiro.t -> Schedule.t -> move
 
 val to_string : move -> string
 (** ["12->p3"] or ["12->p3@0"] — for labels and logs. *)
+
+(** {1 Swap moves}
+
+    A {!swap} exchanges the (processor, position) slots of two tasks via
+    {!Schedule.swap}. Together with {!move} this is the second move
+    class of the local-search neighborhood. *)
+
+type swap = { a : int; b : int }
+
+val make_swap : a:int -> b:int -> swap
+
+val apply_swap : Schedule.t -> swap -> Schedule.t
+(** Raises [Invalid_argument] if out of range, [a = b], or the exchange
+    would deadlock the eager execution. *)
+
+val apply_swap_opt : Schedule.t -> swap -> Schedule.t option
+
+val random_swap : ?attempts:int -> rng:Prng.Xoshiro.t -> Schedule.t -> swap option
+(** A random feasible swap, deterministic in [rng]. [None] after
+    [attempts] (default 64) infeasible draws — unlike {!random} there is
+    no universally feasible fallback swap. *)
+
+val swap_to_string : swap -> string
+(** ["12<->7"]. *)
+
+(** {1 Either neighborhood} *)
+
+type any = Reassign of move | Swap of swap
+
+val apply_any : Schedule.t -> any -> Schedule.t
+val apply_any_opt : Schedule.t -> any -> Schedule.t option
+val any_to_string : any -> string

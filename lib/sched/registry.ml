@@ -204,14 +204,33 @@ let parse_combo s =
     (of_spec ~name:(List_scheduler.spec_name spec) ~aliases:[]
        ~provenance:"ad-hoc composition" spec)
 
-(* Resolve a scheduler name: a registry entry (canonical name or alias)
-   or a rank=...,select=... composition. *)
+(* Extension parsers registered by higher layers (lib/search's `anneal:`
+   specs) that cannot be depended on from here. Tried after the named
+   entries and before the composition grammar, so an extension owns its
+   whole prefix even when the spec contains '='. Registration is a
+   module-initialization side effect in the owning library; last
+   registered wins on overlapping prefixes. *)
+let extensions : (string -> (entry, string) result option) list ref = ref []
+
+let register_extension f = extensions := f :: !extensions
+
+let try_extensions name =
+  List.fold_left
+    (fun acc f -> match acc with Some _ -> acc | None -> f name)
+    None !extensions
+
+(* Resolve a scheduler name: a registry entry (canonical name or alias),
+   a registered extension spec (e.g. anneal:...), or a
+   rank=...,select=... composition. *)
 let parse name =
   match find name with
   | Some e -> Ok e
-  | None ->
-    if String.contains name '=' then parse_combo name
-    else
-      Error
-        (Printf.sprintf "unknown scheduler %S (known: %s, or rank=...,select=...)" name
-           (String.concat ", " (names ())))
+  | None -> (
+    match try_extensions name with
+    | Some r -> r
+    | None ->
+      if String.contains name '=' then parse_combo name
+      else
+        Error
+          (Printf.sprintf "unknown scheduler %S (known: %s, or rank=...,select=...)" name
+             (String.concat ", " (names ()))))

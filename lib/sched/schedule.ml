@@ -168,6 +168,35 @@ let reassign ?at t ~task ~to_ =
   check_acyclic t.graph order;
   { t with proc_of; order; pos_in_proc }
 
+(* Exchange two tasks' (processor, position) slots. Like [reassign] this
+   rebuilds only the affected order rows (one row when the tasks share a
+   processor, two otherwise) and re-checks acyclicity — a swap can
+   deadlock the eager execution just like a reassign can. *)
+let swap t ~a ~b =
+  let n = Dag.Graph.n_tasks t.graph in
+  if a < 0 || a >= n || b < 0 || b >= n then invalid_arg "Schedule.swap: task out of range";
+  if a = b then invalid_arg "Schedule.swap: tasks must differ";
+  let pa = t.proc_of.(a) and pb = t.proc_of.(b) in
+  let order = Array.copy t.order in
+  if pa = pb then begin
+    let row = Array.copy t.order.(pa) in
+    row.(t.pos_in_proc.(a)) <- b;
+    row.(t.pos_in_proc.(b)) <- a;
+    order.(pa) <- row
+  end
+  else begin
+    order.(pa) <- Array.map (fun v -> if v = a then b else v) t.order.(pa);
+    order.(pb) <- Array.map (fun v -> if v = b then a else v) t.order.(pb)
+  end;
+  let proc_of = Array.copy t.proc_of in
+  proc_of.(a) <- pb;
+  proc_of.(b) <- pa;
+  let pos_in_proc = Array.copy t.pos_in_proc in
+  pos_in_proc.(a) <- t.pos_in_proc.(b);
+  pos_in_proc.(b) <- t.pos_in_proc.(a);
+  check_acyclic t.graph order;
+  { t with proc_of; order; pos_in_proc }
+
 let proc_pred t v =
   let pos = t.pos_in_proc.(v) in
   if pos = 0 then None else Some t.order.(t.proc_of.(v)).(pos - 1)

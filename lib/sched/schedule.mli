@@ -38,6 +38,13 @@ val reassign : ?at:int -> t -> task:Dag.Graph.task -> to_:Platform.proc -> t
     [Invalid_argument] raised if the move would deadlock the eager
     execution. *)
 
+val swap : t -> a:Dag.Graph.task -> b:Dag.Graph.task -> t
+(** [swap t ~a ~b] exchanges the (processor, position) slots of tasks [a]
+    and [b], leaving every other task in place. Only the affected order
+    rows are rebuilt (one row when [a] and [b] share a processor).
+    Acyclicity is re-checked and [Invalid_argument] raised if the
+    exchange would deadlock the eager execution, or if [a = b]. *)
+
 val validate : t -> (unit, string) result
 (** Re-check the invariants of an already-built schedule: every task
     assigned exactly once, per-processor exclusivity (order rows

@@ -89,6 +89,8 @@ type stats = {
   engine_reevals : int;
   engine_reeval_incremental : int;
   engine_reeval_full : int;
+  engine_reeval_full_cone : int;
+  engine_reeval_full_backend : int;
   engine_reeval_cone_nodes : int;
   engine_reeval_max_cone : int;
   queue_depth : int;
@@ -431,26 +433,34 @@ let worker_loop t sh =
 (* ------------------------------------------------------------------ *)
 
 let stats t =
-  let task_hits, task_misses, reevals, reeval_inc, reeval_full, cone_nodes, max_cone =
+  let ( task_hits,
+        task_misses,
+        reevals,
+        reeval_inc,
+        reeval_full_cone,
+        reeval_full_backend,
+        cone_nodes,
+        max_cone ) =
     Array.fold_left
       (fun acc sh ->
         Mutex.lock sh.emu;
         let totals =
           List.fold_left
-            (fun (h, m, r, ri, rf, cn, mc) (_, e) ->
+            (fun (h, m, r, ri, rfc, rfb, cn, mc) (_, e) ->
               let s = Engine.stats e in
               ( h + s.Engine.task_hits,
                 m + s.Engine.task_misses,
                 r + s.Engine.reevals,
                 ri + s.Engine.reeval_incremental,
-                rf + s.Engine.reeval_full,
+                rfc + s.Engine.reeval_full_cone,
+                rfb + s.Engine.reeval_full_backend,
                 cn + s.Engine.reeval_cone_nodes,
                 Int.max mc s.Engine.reeval_max_cone ))
             acc sh.engines
         in
         Mutex.unlock sh.emu;
         totals)
-      (0, 0, 0, 0, 0, 0, 0) t.shards
+      (0, 0, 0, 0, 0, 0, 0, 0) t.shards
   in
   let shard_depth =
     Array.map
@@ -478,7 +488,9 @@ let stats t =
     engine_task_misses = task_misses;
     engine_reevals = reevals;
     engine_reeval_incremental = reeval_inc;
-    engine_reeval_full = reeval_full;
+    engine_reeval_full = reeval_full_cone + reeval_full_backend;
+    engine_reeval_full_cone = reeval_full_cone;
+    engine_reeval_full_backend = reeval_full_backend;
     engine_reeval_cone_nodes = cone_nodes;
     engine_reeval_max_cone = max_cone;
     queue_depth = Array.fold_left ( + ) 0 shard_depth;
@@ -538,6 +550,8 @@ let metrics_body t =
         ("engine_reevals", num_of_int s.engine_reevals);
         ("engine_reeval_incremental", num_of_int s.engine_reeval_incremental);
         ("engine_reeval_full", num_of_int s.engine_reeval_full);
+        ("engine_reeval_full_cone", num_of_int s.engine_reeval_full_cone);
+        ("engine_reeval_full_backend", num_of_int s.engine_reeval_full_backend);
         ("engine_reeval_cone_nodes", num_of_int s.engine_reeval_cone_nodes);
         ("engine_reeval_max_cone", num_of_int s.engine_reeval_max_cone);
         ("latency_p50_s", q 0.5);
@@ -606,6 +620,11 @@ let openmetrics_body t =
         "Re-evaluations served by a dirty-cone replay" s.engine_reeval_incremental;
       counter "service_engine_reevals_full"
         "Re-evaluations that fell back to a full sweep" s.engine_reeval_full;
+      counter "service_engine_reevals_full_cone"
+        "Full-sweep fallbacks whose dirty cone exceeded the cutoff"
+        s.engine_reeval_full_cone;
+      counter "service_engine_reevals_full_backend"
+        "Full-sweep fallbacks on non-incremental backends" s.engine_reeval_full_backend;
       counter "service_engine_reeval_cone_nodes"
         "Dirty nodes recomputed across incremental re-evaluations"
         s.engine_reeval_cone_nodes;

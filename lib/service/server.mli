@@ -140,7 +140,9 @@ type stats = {
   engine_task_misses : int;
   engine_reevals : int;  (** single-move re-evaluations, summed over live engines *)
   engine_reeval_incremental : int;  (** served by a dirty-cone replay *)
-  engine_reeval_full : int;  (** fell back to a full sweep *)
+  engine_reeval_full : int;  (** fell back to a full sweep (= cone + backend) *)
+  engine_reeval_full_cone : int;  (** fallbacks whose dirty cone exceeded the cutoff *)
+  engine_reeval_full_backend : int;  (** fallbacks on non-incremental backends *)
   engine_reeval_cone_nodes : int;  (** dirty nodes recomputed, summed *)
   engine_reeval_max_cone : int;  (** largest incremental cone over live engines *)
   queue_depth : int;  (** current, summed over shards *)
